@@ -1,0 +1,152 @@
+//! Breadth-first search as a monotone edge-centric program.
+//!
+//! Levels propagate as a min-merge: a destination's level is the minimum of
+//! its current level and `src_level + 1`. The paper notes (§7.1) HyVE uses
+//! the general read-based edge-centric formulation rather than a queue.
+
+use crate::program::{EdgeProgram, ExecutionMode, GraphMeta, IterationBound};
+use hyve_graph::{Edge, VertexId};
+
+/// Level value for unreached vertices.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Edge-centric BFS from a source vertex.
+///
+/// ```
+/// use hyve_algorithms::{run_in_memory, Bfs, GraphMeta};
+/// use hyve_graph::{Edge, VertexId};
+///
+/// let edges = [Edge::new(0, 1), Edge::new(1, 2), Edge::new(0, 2)];
+/// let meta = GraphMeta::from_edges(3, &edges);
+/// let run = run_in_memory(&Bfs::new(VertexId::new(0)), &edges, &meta);
+/// assert_eq!(run.values, vec![0, 1, 1]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bfs {
+    source: VertexId,
+    max_iterations: u32,
+}
+
+impl Bfs {
+    /// Creates a BFS rooted at `source`.
+    pub fn new(source: VertexId) -> Self {
+        Bfs {
+            source,
+            max_iterations: 10_000,
+        }
+    }
+
+    /// Overrides the convergence safety cap.
+    pub fn with_max_iterations(mut self, max: u32) -> Self {
+        self.max_iterations = max;
+        self
+    }
+
+    /// The BFS root.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+}
+
+impl EdgeProgram for Bfs {
+    type Value = u32;
+
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+
+    fn mode(&self) -> ExecutionMode {
+        ExecutionMode::Monotone
+    }
+
+    fn bound(&self) -> IterationBound {
+        IterationBound::Converge {
+            max: self.max_iterations,
+        }
+    }
+
+    /// Levels fit in a byte for any graph of sane diameter; the narrow
+    /// value is why BFS benefits least from data sharing (Fig. 14).
+    fn value_bits(&self) -> u32 {
+        8
+    }
+
+    fn init(&self, v: VertexId, _: &GraphMeta) -> u32 {
+        if v == self.source {
+            0
+        } else {
+            UNREACHED
+        }
+    }
+
+    fn identity(&self) -> u32 {
+        UNREACHED
+    }
+
+    fn scatter(&self, src: u32, _: &Edge, _: &GraphMeta) -> u32 {
+        src.saturating_add(1)
+    }
+
+    fn merge(&self, current: u32, message: u32) -> u32 {
+        current.min(message)
+    }
+
+    fn arithmetic(&self) -> bool {
+        false
+    }
+
+    fn apply(&self, _: VertexId, acc: u32, prev: u32, _: &GraphMeta) -> u32 {
+        acc.min(prev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::run_in_memory;
+
+    #[test]
+    fn unreachable_stays_unreached() {
+        let edges = [Edge::new(0, 1)];
+        let meta = GraphMeta::from_edges(3, &edges);
+        let run = run_in_memory(&Bfs::new(VertexId::new(0)), &edges, &meta);
+        assert_eq!(run.values, vec![0, 1, UNREACHED]);
+    }
+
+    #[test]
+    fn converges_without_hitting_cap() {
+        let edges: Vec<Edge> = (0..50).map(|i| Edge::new(i, i + 1)).collect();
+        let meta = GraphMeta::from_edges(51, &edges);
+        let run = run_in_memory(&Bfs::new(VertexId::new(0)), &edges, &meta);
+        assert_eq!(run.values[50], 50);
+        assert!(run.iterations < 100);
+    }
+
+    #[test]
+    fn takes_shortest_path() {
+        // 0->1->2->3 and direct 0->3.
+        let edges = [
+            Edge::new(0, 1),
+            Edge::new(1, 2),
+            Edge::new(2, 3),
+            Edge::new(0, 3),
+        ];
+        let meta = GraphMeta::from_edges(4, &edges);
+        let run = run_in_memory(&Bfs::new(VertexId::new(0)), &edges, &meta);
+        assert_eq!(run.values[3], 1);
+    }
+
+    #[test]
+    fn saturating_add_avoids_overflow() {
+        let bfs = Bfs::new(VertexId::new(0));
+        assert_eq!(bfs.scatter(UNREACHED, &Edge::new(0, 1), &GraphMeta::from_edges(2, &[])), UNREACHED);
+    }
+
+    #[test]
+    fn accessors() {
+        let bfs = Bfs::new(VertexId::new(3)).with_max_iterations(5);
+        assert_eq!(bfs.source(), VertexId::new(3));
+        assert_eq!(bfs.bound(), IterationBound::Converge { max: 5 });
+        assert_eq!(bfs.name(), "BFS");
+    }
+}

@@ -1,0 +1,140 @@
+//! Connected components (weakly connected, label propagation).
+//!
+//! Every vertex starts with its own id as label; the minimum label floods
+//! each component. Edges are treated as undirected (label moves both ways),
+//! matching what "Connected Components" means on the paper's directed
+//! datasets.
+
+use crate::program::{EdgeProgram, ExecutionMode, GraphMeta, IterationBound};
+use hyve_graph::{Edge, VertexId};
+
+/// Min-label connected components.
+///
+/// ```
+/// use hyve_algorithms::{run_in_memory, ConnectedComponents, GraphMeta};
+/// use hyve_graph::Edge;
+///
+/// let edges = [Edge::new(0, 1), Edge::new(2, 3)];
+/// let meta = GraphMeta::from_edges(4, &edges);
+/// let run = run_in_memory(&ConnectedComponents::new(), &edges, &meta);
+/// assert_eq!(run.values, vec![0, 0, 2, 2]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConnectedComponents {
+    max_iterations: u32,
+}
+
+impl ConnectedComponents {
+    /// Creates a CC program with a generous convergence cap.
+    pub fn new() -> Self {
+        ConnectedComponents {
+            max_iterations: 10_000,
+        }
+    }
+
+    /// Overrides the convergence safety cap.
+    pub fn with_max_iterations(mut self, max: u32) -> Self {
+        self.max_iterations = max;
+        self
+    }
+}
+
+impl EdgeProgram for ConnectedComponents {
+    type Value = u32;
+
+    fn name(&self) -> &'static str {
+        "CC"
+    }
+
+    fn mode(&self) -> ExecutionMode {
+        ExecutionMode::Monotone
+    }
+
+    fn bound(&self) -> IterationBound {
+        IterationBound::Converge {
+            max: if self.max_iterations == 0 {
+                10_000
+            } else {
+                self.max_iterations
+            },
+        }
+    }
+
+    fn value_bits(&self) -> u32 {
+        32
+    }
+
+    fn init(&self, v: VertexId, _: &GraphMeta) -> u32 {
+        v.raw()
+    }
+
+    fn identity(&self) -> u32 {
+        u32::MAX
+    }
+
+    fn scatter(&self, src: u32, _: &Edge, _: &GraphMeta) -> u32 {
+        src
+    }
+
+    fn merge(&self, current: u32, message: u32) -> u32 {
+        current.min(message)
+    }
+
+    fn arithmetic(&self) -> bool {
+        false
+    }
+
+    fn apply(&self, _: VertexId, acc: u32, prev: u32, _: &GraphMeta) -> u32 {
+        acc.min(prev)
+    }
+
+    fn undirected(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::run_in_memory;
+
+    #[test]
+    fn direction_is_ignored() {
+        // 1 -> 0: label 0 must still reach vertex 1.
+        let edges = [Edge::new(1, 0)];
+        let meta = GraphMeta::from_edges(2, &edges);
+        let run = run_in_memory(&ConnectedComponents::new(), &edges, &meta);
+        assert_eq!(run.values, vec![0, 0]);
+    }
+
+    #[test]
+    fn isolated_vertices_keep_own_label() {
+        let edges = [Edge::new(0, 1)];
+        let meta = GraphMeta::from_edges(4, &edges);
+        let run = run_in_memory(&ConnectedComponents::new(), &edges, &meta);
+        assert_eq!(run.values[2], 2);
+        assert_eq!(run.values[3], 3);
+    }
+
+    #[test]
+    fn long_chain_converges() {
+        let edges: Vec<Edge> = (0..100).map(|i| Edge::new(i + 1, i)).collect();
+        let meta = GraphMeta::from_edges(101, &edges);
+        let run = run_in_memory(&ConnectedComponents::new(), &edges, &meta);
+        assert!(run.values.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn two_components_stay_separate() {
+        let edges = [
+            Edge::new(0, 1),
+            Edge::new(1, 2),
+            Edge::new(5, 4),
+            Edge::new(4, 3),
+        ];
+        let meta = GraphMeta::from_edges(6, &edges);
+        let run = run_in_memory(&ConnectedComponents::new(), &edges, &meta);
+        assert_eq!(&run.values[0..3], &[0, 0, 0]);
+        assert_eq!(&run.values[3..6], &[3, 3, 3]);
+    }
+}

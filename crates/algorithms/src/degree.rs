@@ -1,0 +1,140 @@
+//! Degree centrality as a single accumulate pass — the simplest useful
+//! edge-centric program, handy as an engine smoke-test and a building block
+//! (weighted in-degree is SpMV with the all-ones vector; this program also
+//! offers the unweighted count).
+
+use crate::program::{EdgeProgram, ExecutionMode, GraphMeta, IterationBound};
+use hyve_graph::{Edge, VertexId};
+
+/// Which degree to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegreeKind {
+    /// Count of incoming edges (the natural edge-centric direction).
+    #[default]
+    In,
+    /// Sum of incoming edge weights.
+    WeightedIn,
+}
+
+/// In-degree (or weighted in-degree) in one iteration.
+///
+/// ```
+/// use hyve_algorithms::{run_in_memory, DegreeCentrality, GraphMeta};
+/// use hyve_graph::Edge;
+///
+/// let edges = [Edge::new(0, 2), Edge::new(1, 2), Edge::new(2, 0)];
+/// let meta = GraphMeta::from_edges(3, &edges);
+/// let run = run_in_memory(&DegreeCentrality::new(), &edges, &meta);
+/// assert_eq!(run.values, vec![1.0, 0.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DegreeCentrality {
+    kind: DegreeKind,
+}
+
+impl DegreeCentrality {
+    /// Unweighted in-degree.
+    pub fn new() -> Self {
+        DegreeCentrality {
+            kind: DegreeKind::In,
+        }
+    }
+
+    /// Weighted in-degree (sums edge weights).
+    pub fn weighted() -> Self {
+        DegreeCentrality {
+            kind: DegreeKind::WeightedIn,
+        }
+    }
+
+    /// The configured degree kind.
+    pub fn kind(&self) -> DegreeKind {
+        self.kind
+    }
+}
+
+impl EdgeProgram for DegreeCentrality {
+    type Value = f32;
+
+    fn name(&self) -> &'static str {
+        "Degree"
+    }
+
+    fn mode(&self) -> ExecutionMode {
+        ExecutionMode::Accumulate
+    }
+
+    fn bound(&self) -> IterationBound {
+        IterationBound::Fixed(1)
+    }
+
+    fn value_bits(&self) -> u32 {
+        32
+    }
+
+    fn init(&self, _: VertexId, _: &GraphMeta) -> f32 {
+        0.0
+    }
+
+    fn identity(&self) -> f32 {
+        0.0
+    }
+
+    fn scatter(&self, _src: f32, edge: &Edge, _: &GraphMeta) -> f32 {
+        match self.kind {
+            DegreeKind::In => 1.0,
+            DegreeKind::WeightedIn => edge.weight,
+        }
+    }
+
+    fn merge(&self, current: f32, message: f32) -> f32 {
+        current + message
+    }
+
+    fn apply(&self, _: VertexId, acc: f32, _prev: f32, _: &GraphMeta) -> f32 {
+        acc
+    }
+
+    fn arithmetic(&self) -> bool {
+        false // pure counting is adder-only, no multiplier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::run_in_memory;
+
+    #[test]
+    fn counts_match_edge_list_in_degrees() {
+        let edges = [
+            Edge::new(0, 1),
+            Edge::new(2, 1),
+            Edge::new(3, 1),
+            Edge::new(1, 0),
+        ];
+        let meta = GraphMeta::from_edges(4, &edges);
+        let run = run_in_memory(&DegreeCentrality::new(), &edges, &meta);
+        assert_eq!(run.values, vec![1.0, 3.0, 0.0, 0.0]);
+        assert_eq!(run.iterations, 1);
+    }
+
+    #[test]
+    fn weighted_sums_weights() {
+        let edges = [
+            Edge::with_weight(0, 1, 2.5),
+            Edge::with_weight(2, 1, 0.5),
+        ];
+        let meta = GraphMeta::from_edges(3, &edges);
+        let run = run_in_memory(&DegreeCentrality::weighted(), &edges, &meta);
+        assert_eq!(run.values[1], 3.0);
+    }
+
+    #[test]
+    fn kinds_and_metadata() {
+        assert_eq!(DegreeCentrality::new().kind(), DegreeKind::In);
+        assert_eq!(DegreeCentrality::weighted().kind(), DegreeKind::WeightedIn);
+        assert!(!DegreeCentrality::new().arithmetic());
+        assert_eq!(DegreeCentrality::default(), DegreeCentrality::new());
+    }
+}

@@ -1,0 +1,235 @@
+//! Sequential reference implementations used to validate engine results.
+//!
+//! These deliberately use *different* algorithmic structures than the
+//! edge-centric programs (queue BFS, union-find CC, Dijkstra SSSP) so that
+//! agreement between an engine run and a reference is meaningful evidence
+//! of correctness rather than the same code run twice.
+
+use hyve_graph::{Csr, EdgeList, VertexId};
+use std::collections::VecDeque;
+
+/// Queue-based BFS levels (`u32::MAX` = unreached).
+pub fn bfs_levels(csr: &Csr, source: VertexId) -> Vec<u32> {
+    let n = csr.num_vertices() as usize;
+    let mut levels = vec![u32::MAX; n];
+    if source.index() >= n {
+        return levels;
+    }
+    let mut queue = VecDeque::new();
+    levels[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let next = levels[v.index()] + 1;
+        for (u, _) in csr.neighbors(v) {
+            if levels[u.index()] == u32::MAX {
+                levels[u.index()] = next;
+                queue.push_back(u);
+            }
+        }
+    }
+    levels
+}
+
+/// Union-find weakly-connected components; labels are each component's
+/// minimum vertex id (matching the label-propagation program).
+pub fn connected_components(g: &EdgeList) -> Vec<u32> {
+    let n = g.num_vertices() as usize;
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+
+    fn find(parent: &mut [u32], v: u32) -> u32 {
+        let mut root = v;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = v;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    for e in g.iter() {
+        let a = find(&mut parent, e.src.raw());
+        let b = find(&mut parent, e.dst.raw());
+        if a != b {
+            // Union by smaller root so the representative is the min id.
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            parent[hi as usize] = lo;
+        }
+    }
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+/// Power-iteration PageRank over the CSR, mirroring the paper's fixed
+/// iteration count. Dangling mass is dropped, matching the edge-centric
+/// program's semantics (no out-edges ⇒ no contribution).
+pub fn pagerank(csr: &Csr, iterations: u32, damping: f32) -> Vec<f32> {
+    let n = csr.num_vertices() as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = (1.0 - damping) / n as f32;
+    let mut ranks = vec![1.0 / n as f32; n];
+    for _ in 0..iterations {
+        let mut next = vec![0.0f32; n];
+        for v in 0..n as u32 {
+            let v = VertexId::new(v);
+            let deg = csr.out_degree(v);
+            if deg == 0 {
+                continue;
+            }
+            let share = ranks[v.index()] / deg as f32;
+            for (u, _) in csr.neighbors(v) {
+                next[u.index()] += share;
+            }
+        }
+        for r in next.iter_mut() {
+            *r = base + damping * *r;
+        }
+        ranks = next;
+    }
+    ranks
+}
+
+/// Dijkstra SSSP distances (`f32::INFINITY` = unreachable).
+///
+/// # Panics
+///
+/// Panics on negative edge weights (Dijkstra precondition).
+pub fn sssp_distances(csr: &Csr, source: VertexId) -> Vec<f32> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Entry(f32, VertexId);
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Min-heap on distance.
+            other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
+        }
+    }
+
+    let n = csr.num_vertices() as usize;
+    let mut dist = vec![f32::INFINITY; n];
+    if source.index() >= n {
+        return dist;
+    }
+    dist[source.index()] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Entry(0.0, source));
+    while let Some(Entry(d, v)) = heap.pop() {
+        if d > dist[v.index()] {
+            continue;
+        }
+        for (u, w) in csr.neighbors(v) {
+            assert!(w >= 0.0, "Dijkstra requires non-negative weights");
+            let nd = d + w;
+            if nd < dist[u.index()] {
+                dist[u.index()] = nd;
+                heap.push(Entry(nd, u));
+            }
+        }
+    }
+    dist
+}
+
+/// Direct sparse matrix–vector product: `y[dst] += x[src] * w` per edge.
+pub fn spmv(g: &EdgeList, x: &[f32]) -> Vec<f32> {
+    let mut y = vec![0.0f32; g.num_vertices() as usize];
+    for e in g.iter() {
+        y[e.dst.index()] += x[e.src.index()] * e.weight;
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyve_graph::Edge;
+
+    fn diamond() -> EdgeList {
+        // 0 -> {1,2} -> 3
+        EdgeList::from_edges(
+            4,
+            [
+                Edge::new(0, 1),
+                Edge::new(0, 2),
+                Edge::new(1, 3),
+                Edge::new(2, 3),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bfs_diamond() {
+        let csr = Csr::from_edge_list(&diamond());
+        assert_eq!(bfs_levels(&csr, VertexId::new(0)), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn cc_labels_are_min_ids() {
+        let g = EdgeList::from_edges(
+            6,
+            [Edge::new(4, 1), Edge::new(1, 2), Edge::new(5, 3)],
+        )
+        .unwrap();
+        let labels = connected_components(&g);
+        assert_eq!(labels, vec![0, 1, 1, 3, 1, 3]);
+    }
+
+    #[test]
+    fn pagerank_sums_to_at_most_one() {
+        let csr = Csr::from_edge_list(&diamond());
+        let pr = pagerank(&csr, 20, 0.85);
+        // The sink (vertex 3) drains rank every iteration, so the total
+        // decays below 1; it must stay positive and bounded.
+        let total: f32 = pr.iter().sum();
+        assert!(total > 0.1 && total <= 1.001, "total rank {total}");
+        // Sink vertex 3 collects the most rank.
+        assert!(pr[3] > pr[1]);
+    }
+
+    #[test]
+    fn sssp_weighted_diamond() {
+        let g = EdgeList::from_edges(
+            4,
+            [
+                Edge::with_weight(0, 1, 1.0),
+                Edge::with_weight(0, 2, 5.0),
+                Edge::with_weight(1, 3, 1.0),
+                Edge::with_weight(2, 3, 1.0),
+            ],
+        )
+        .unwrap();
+        let csr = Csr::from_edge_list(&g);
+        let d = sssp_distances(&csr, VertexId::new(0));
+        assert_eq!(d, vec![0.0, 1.0, 5.0, 2.0]);
+    }
+
+    #[test]
+    fn spmv_direct() {
+        let g = diamond();
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = spmv(&g, &x);
+        assert_eq!(y, vec![0.0, 1.0, 1.0, 5.0]);
+    }
+
+    #[test]
+    fn empty_graph_references() {
+        let g = EdgeList::new(0);
+        assert!(connected_components(&g).is_empty());
+        assert!(spmv(&g, &[]).is_empty());
+        let csr = Csr::from_edge_list(&g);
+        assert!(pagerank(&csr, 5, 0.85).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Sparse matrix–vector multiplication as a one-iteration accumulate pass.
+//!
+//! `y = A·x` where `A` is the graph's (weighted) adjacency matrix with
+//! `A[dst][src] = weight`: each edge contributes `x[src] · w` to `y[dst]`.
+//! The second extra algorithm of the GraphR comparison (§7.4.3) and the
+//! operation GraphR's crossbars natively compute.
+
+use crate::program::{EdgeProgram, ExecutionMode, GraphMeta, IterationBound};
+use hyve_graph::{Edge, VertexId};
+
+/// One SpMV pass with a deterministic input vector.
+///
+/// The input vector is derived from the vertex id (`x[v] = 1 + (v mod 7)`),
+/// which keeps runs reproducible without shipping a vector. Use
+/// [`SpMv::with_uniform_input`] for the all-ones vector.
+///
+/// ```
+/// use hyve_algorithms::{run_in_memory, GraphMeta, SpMv};
+/// use hyve_graph::Edge;
+///
+/// let edges = [Edge::with_weight(0, 1, 2.0)];
+/// let meta = GraphMeta::from_edges(2, &edges);
+/// let run = run_in_memory(&SpMv::new().with_uniform_input(), &edges, &meta);
+/// assert_eq!(run.values[1], 2.0); // y[1] = x[0] * 2
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpMv {
+    uniform_input: bool,
+}
+
+impl SpMv {
+    /// Creates an SpMV pass with the id-derived input vector.
+    pub fn new() -> Self {
+        SpMv {
+            uniform_input: false,
+        }
+    }
+
+    /// Uses the all-ones input vector instead.
+    pub fn with_uniform_input(mut self) -> Self {
+        self.uniform_input = true;
+        self
+    }
+
+    /// The input vector entry for a vertex.
+    pub fn input(&self, v: VertexId) -> f32 {
+        if self.uniform_input {
+            1.0
+        } else {
+            1.0 + (v.raw() % 7) as f32
+        }
+    }
+}
+
+impl EdgeProgram for SpMv {
+    type Value = f32;
+
+    fn name(&self) -> &'static str {
+        "SpMV"
+    }
+
+    fn mode(&self) -> ExecutionMode {
+        ExecutionMode::Accumulate
+    }
+
+    fn bound(&self) -> IterationBound {
+        IterationBound::Fixed(1)
+    }
+
+    fn value_bits(&self) -> u32 {
+        32
+    }
+
+    fn init(&self, v: VertexId, _: &GraphMeta) -> f32 {
+        self.input(v)
+    }
+
+    fn identity(&self) -> f32 {
+        0.0
+    }
+
+    fn scatter(&self, src: f32, edge: &Edge, _: &GraphMeta) -> f32 {
+        src * edge.weight
+    }
+
+    fn merge(&self, current: f32, message: f32) -> f32 {
+        current + message
+    }
+
+    fn apply(&self, _: VertexId, acc: f32, _prev: f32, _: &GraphMeta) -> f32 {
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::run_in_memory;
+
+    #[test]
+    fn matches_dense_multiply() {
+        let edges = [
+            Edge::with_weight(0, 1, 2.0),
+            Edge::with_weight(1, 2, 3.0),
+            Edge::with_weight(0, 2, 0.5),
+        ];
+        let meta = GraphMeta::from_edges(3, &edges);
+        let spmv = SpMv::new();
+        let run = run_in_memory(&spmv, &edges, &meta);
+        let x: Vec<f32> = (0..3).map(|v| spmv.input(VertexId::new(v))).collect();
+        // y[1] = 2*x0; y[2] = 3*x1 + 0.5*x0; y[0] = 0 (no in-edges).
+        assert_eq!(run.values[0], 0.0);
+        assert_eq!(run.values[1], 2.0 * x[0]);
+        assert_eq!(run.values[2], 3.0 * x[1] + 0.5 * x[0]);
+    }
+
+    #[test]
+    fn runs_exactly_one_iteration() {
+        let edges = [Edge::new(0, 1)];
+        let meta = GraphMeta::from_edges(2, &edges);
+        let run = run_in_memory(&SpMv::new(), &edges, &meta);
+        assert_eq!(run.iterations, 1);
+    }
+
+    #[test]
+    fn uniform_input_is_row_sums() {
+        let edges = [
+            Edge::with_weight(0, 2, 1.5),
+            Edge::with_weight(1, 2, 2.5),
+        ];
+        let meta = GraphMeta::from_edges(3, &edges);
+        let run = run_in_memory(&SpMv::new().with_uniform_input(), &edges, &meta);
+        assert_eq!(run.values[2], 4.0);
+    }
+
+    #[test]
+    fn input_vector_is_deterministic() {
+        let s = SpMv::new();
+        assert_eq!(s.input(VertexId::new(0)), 1.0);
+        assert_eq!(s.input(VertexId::new(7)), 1.0);
+        assert_eq!(s.input(VertexId::new(3)), 4.0);
+    }
+}

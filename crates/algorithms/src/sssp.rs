@@ -1,0 +1,138 @@
+//! Single-source shortest paths (Bellman-Ford-style, monotone min merge).
+//!
+//! One of the two extra algorithms the GraphR comparison adds (§7.4.3).
+//! Distances relax along edges: `dist(dst) = min(dist(dst), dist(src) + w)`.
+
+use crate::program::{EdgeProgram, ExecutionMode, GraphMeta, IterationBound};
+use hyve_graph::{Edge, VertexId};
+
+/// Distance value for unreached vertices.
+pub const UNREACHABLE: f32 = f32::INFINITY;
+
+/// Edge-centric SSSP from a source vertex, using edge weights.
+///
+/// ```
+/// use hyve_algorithms::{run_in_memory, GraphMeta, Sssp};
+/// use hyve_graph::{Edge, VertexId};
+///
+/// let edges = [Edge::with_weight(0, 1, 5.0), Edge::with_weight(1, 2, 1.0),
+///              Edge::with_weight(0, 2, 10.0)];
+/// let meta = GraphMeta::from_edges(3, &edges);
+/// let run = run_in_memory(&Sssp::new(VertexId::new(0)), &edges, &meta);
+/// assert_eq!(run.values, vec![0.0, 5.0, 6.0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sssp {
+    source: VertexId,
+    max_iterations: u32,
+}
+
+impl Sssp {
+    /// Creates an SSSP program rooted at `source`.
+    pub fn new(source: VertexId) -> Self {
+        Sssp {
+            source,
+            max_iterations: 10_000,
+        }
+    }
+
+    /// Overrides the convergence safety cap.
+    pub fn with_max_iterations(mut self, max: u32) -> Self {
+        self.max_iterations = max;
+        self
+    }
+
+    /// The SSSP root.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+}
+
+impl EdgeProgram for Sssp {
+    type Value = f32;
+
+    fn name(&self) -> &'static str {
+        "SSSP"
+    }
+
+    fn mode(&self) -> ExecutionMode {
+        ExecutionMode::Monotone
+    }
+
+    fn bound(&self) -> IterationBound {
+        IterationBound::Converge {
+            max: self.max_iterations,
+        }
+    }
+
+    fn value_bits(&self) -> u32 {
+        32
+    }
+
+    fn init(&self, v: VertexId, _: &GraphMeta) -> f32 {
+        if v == self.source {
+            0.0
+        } else {
+            UNREACHABLE
+        }
+    }
+
+    fn identity(&self) -> f32 {
+        UNREACHABLE
+    }
+
+    fn scatter(&self, src: f32, edge: &Edge, _: &GraphMeta) -> f32 {
+        src + edge.weight
+    }
+
+    fn merge(&self, current: f32, message: f32) -> f32 {
+        current.min(message)
+    }
+
+    fn apply(&self, _: VertexId, acc: f32, prev: f32, _: &GraphMeta) -> f32 {
+        acc.min(prev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::run_in_memory;
+
+    #[test]
+    fn unweighted_defaults_to_hop_count() {
+        let edges = [Edge::new(0, 1), Edge::new(1, 2)];
+        let meta = GraphMeta::from_edges(3, &edges);
+        let run = run_in_memory(&Sssp::new(VertexId::new(0)), &edges, &meta);
+        assert_eq!(run.values, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn picks_cheaper_longer_path() {
+        let edges = [
+            Edge::with_weight(0, 2, 10.0),
+            Edge::with_weight(0, 1, 1.0),
+            Edge::with_weight(1, 2, 1.0),
+        ];
+        let meta = GraphMeta::from_edges(3, &edges);
+        let run = run_in_memory(&Sssp::new(VertexId::new(0)), &edges, &meta);
+        assert_eq!(run.values[2], 2.0);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let edges = [Edge::new(1, 2)];
+        let meta = GraphMeta::from_edges(3, &edges);
+        let run = run_in_memory(&Sssp::new(VertexId::new(0)), &edges, &meta);
+        assert!(run.values[1].is_infinite());
+        assert!(run.values[2].is_infinite());
+    }
+
+    #[test]
+    fn respects_direction() {
+        let edges = [Edge::new(1, 0)];
+        let meta = GraphMeta::from_edges(2, &edges);
+        let run = run_in_memory(&Sssp::new(VertexId::new(0)), &edges, &meta);
+        assert!(run.values[1].is_infinite());
+    }
+}

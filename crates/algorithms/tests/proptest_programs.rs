@@ -1,0 +1,134 @@
+//! Property-based tests of the edge-centric programs against their
+//! sequential references, plus algorithm-specific invariants.
+
+use hyve_algorithms::{
+    reference, run_in_memory, Bfs, ConnectedComponents, GraphMeta, PageRank, SpMv, Sssp,
+};
+use hyve_graph::{Csr, Edge, EdgeList, VertexId};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = EdgeList> {
+    (2u32..60).prop_flat_map(|nv| {
+        proptest::collection::vec((0..nv, 0..nv, 0.1f32..5.0), 0..250).prop_map(
+            move |triples| {
+                let mut g = EdgeList::new(nv);
+                g.extend(
+                    triples
+                        .into_iter()
+                        .map(|(s, d, w)| Edge::with_weight(s, d, w)),
+                );
+                g
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Edge-centric BFS equals queue BFS on arbitrary graphs, and levels
+    /// along any edge differ by at most one in the forward direction.
+    #[test]
+    fn bfs_matches_queue_reference(g in arb_graph()) {
+        let meta = GraphMeta::from_edge_list(&g);
+        let src = VertexId::new(0);
+        let run = run_in_memory(&Bfs::new(src), g.edges(), &meta);
+        let csr = Csr::from_edge_list(&g);
+        prop_assert_eq!(&run.values, &reference::bfs_levels(&csr, src));
+        for e in g.iter() {
+            let (ls, ld) = (run.values[e.src.index()], run.values[e.dst.index()]);
+            if ls != u32::MAX {
+                prop_assert!(ld <= ls + 1, "edge {e} violates BFS triangle rule");
+            }
+        }
+    }
+
+    /// Edge-centric CC equals union-find, and endpoints of every edge share
+    /// a label.
+    #[test]
+    fn cc_matches_union_find(g in arb_graph()) {
+        let meta = GraphMeta::from_edge_list(&g);
+        let run = run_in_memory(&ConnectedComponents::new(), g.edges(), &meta);
+        prop_assert_eq!(&run.values, &reference::connected_components(&g));
+        for e in g.iter() {
+            prop_assert_eq!(run.values[e.src.index()], run.values[e.dst.index()]);
+        }
+        // Labels are canonical: each equals the min vertex id of its class.
+        for (v, &label) in run.values.iter().enumerate() {
+            prop_assert!(label <= v as u32);
+        }
+    }
+
+    /// Edge-centric SSSP lower-bounds hold: dist(dst) ≤ dist(src) + w for
+    /// every edge, and results match Dijkstra.
+    #[test]
+    fn sssp_matches_dijkstra(g in arb_graph()) {
+        let meta = GraphMeta::from_edge_list(&g);
+        let src = VertexId::new(0);
+        let run = run_in_memory(&Sssp::new(src), g.edges(), &meta);
+        let csr = Csr::from_edge_list(&g);
+        let expect = reference::sssp_distances(&csr, src);
+        for (a, b) in run.values.iter().zip(expect.iter()) {
+            if b.is_finite() {
+                prop_assert!((a - b).abs() <= 1e-3 * b.max(1.0), "{a} vs {b}");
+            } else {
+                prop_assert!(a.is_infinite());
+            }
+        }
+        for e in g.iter() {
+            let (ds, dd) = (run.values[e.src.index()], run.values[e.dst.index()]);
+            if ds.is_finite() {
+                prop_assert!(dd <= ds + e.weight + 1e-3);
+            }
+        }
+    }
+
+    /// One SpMV pass equals the direct per-edge product.
+    #[test]
+    fn spmv_matches_direct(g in arb_graph()) {
+        let meta = GraphMeta::from_edge_list(&g);
+        let spmv = SpMv::new();
+        let run = run_in_memory(&spmv, g.edges(), &meta);
+        let x: Vec<f32> = (0..g.num_vertices())
+            .map(|v| spmv.input(VertexId::new(v)))
+            .collect();
+        let expect = reference::spmv(&g, &x);
+        for (a, b) in run.values.iter().zip(expect.iter()) {
+            prop_assert!((a - b).abs() <= 1e-3 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    /// PageRank stays positive, bounded, and close to the CSR power
+    /// iteration.
+    #[test]
+    fn pagerank_matches_power_iteration(g in arb_graph(), iters in 1u32..8) {
+        let meta = GraphMeta::from_edge_list(&g);
+        let pr = PageRank::new(iters);
+        let run = run_in_memory(&pr, g.edges(), &meta);
+        let csr = Csr::from_edge_list(&g);
+        let expect = reference::pagerank(&csr, iters, 0.85);
+        let mut total = 0.0f32;
+        for (a, b) in run.values.iter().zip(expect.iter()) {
+            prop_assert!(*a > 0.0 && *a <= 1.0 + 1e-6);
+            prop_assert!((a - b).abs() <= 1e-4 * b.max(1e-6), "{a} vs {b}");
+            total += a;
+        }
+        prop_assert!(total <= 1.0 + 1e-4);
+    }
+
+    /// Monotone programs are idempotent at their fixpoint: re-running from
+    /// the converged state changes nothing.
+    #[test]
+    fn monotone_fixpoint_is_stable(g in arb_graph()) {
+        let meta = GraphMeta::from_edge_list(&g);
+        let bfs = Bfs::new(VertexId::new(0));
+        let first = run_in_memory(&bfs, g.edges(), &meta);
+        // Re-scatter from the fixpoint: no merge can improve any value.
+        use hyve_algorithms::EdgeProgram;
+        for e in g.iter() {
+            let msg = bfs.scatter(first.values[e.src.index()], e, &meta);
+            let merged = bfs.merge(first.values[e.dst.index()], msg);
+            prop_assert_eq!(merged, first.values[e.dst.index()]);
+        }
+    }
+}

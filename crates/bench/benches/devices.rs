@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the device models: per-access cost evaluation
+//! and the event-driven power-gating tracker.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyve_memsim::{
+    DramChip, DramChipConfig, GatingTracker, MemoryDevice, Power, PowerGatingConfig,
+    ReramChip, ReramChipConfig, SramArray, SramConfig, Time,
+};
+use std::hint::black_box;
+
+fn bench_device_costs(c: &mut Criterion) {
+    let reram = ReramChip::new(ReramChipConfig::default());
+    let dram = DramChip::new(DramChipConfig::default());
+    let sram = SramArray::new(SramConfig::default());
+    let mut group = c.benchmark_group("device_cost_eval");
+    group.sample_size(20);
+    group.bench_function("reram_read_512", |b| {
+        b.iter(|| black_box(reram.read_energy(black_box(512))))
+    });
+    group.bench_function("dram_random_read_512", |b| {
+        b.iter(|| black_box(dram.random_read_energy(black_box(512))))
+    });
+    group.bench_function("sram_word_ops", |b| {
+        b.iter(|| {
+            black_box(
+                sram.read_energy(black_box(32)) + sram.write_energy(black_box(32)),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_gating_tracker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("power_gating_tracker");
+    group.sample_size(20);
+    group.bench_function("10k_accesses_8_banks", |b| {
+        b.iter(|| {
+            let mut t = GatingTracker::new(
+                PowerGatingConfig::default(),
+                8,
+                Power::from_mw(2.5),
+            );
+            for i in 0..10_000u32 {
+                t.access(i % 8, Time::from_ns(f64::from(i) * 100.0));
+            }
+            black_box(t.finish(Time::from_ms(1.1)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_device_costs, bench_gating_tracker);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmarks of dynamic-graph updates (Fig. 20 substrate):
+//! per-mutation cost on HyVE's reserved-slack grid versus GraphR's
+//! associative layout.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyve_bench::workloads::SEED;
+use hyve_graph::{DatasetProfile, DynamicGrid, GridGraph};
+use hyve_graphr::GraphrDynamic;
+use std::hint::black_box;
+
+fn bench_update_batch(c: &mut Criterion) {
+    let graph = DatasetProfile::youtube_scaled().generate(SEED);
+    let requests =
+        hyve_bench::experiments::fig20::request_mix(&graph, 5_000, SEED ^ 0x20);
+    let mut group = c.benchmark_group("dynamic_5k_requests_yt");
+    group.sample_size(10);
+
+    group.bench_function("hyve_grid", |b| {
+        b.iter(|| {
+            let grid = GridGraph::partition(&graph, 256).expect("partition");
+            let mut dynamic = DynamicGrid::new(grid, 0.30);
+            for m in &requests {
+                let _ = dynamic.apply(black_box(*m));
+            }
+            black_box(dynamic.edges_changed())
+        });
+    });
+
+    group.bench_function("graphr_layout", |b| {
+        b.iter(|| {
+            let mut dynamic = GraphrDynamic::new(&graph);
+            for m in &requests {
+                let _ = dynamic.apply(black_box(*m));
+            }
+            black_box(dynamic.edges_changed())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_batch);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmarks of the graph generators and reference algorithms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyve_algorithms::reference;
+use hyve_graph::{Csr, ErdosRenyi, Rmat, VertexId};
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_100k_edges");
+    group.sample_size(10);
+    group.bench_function("rmat", |b| {
+        b.iter(|| black_box(Rmat::new(20_000, 100_000).generate(black_box(7))))
+    });
+    group.bench_function("erdos_renyi", |b| {
+        b.iter(|| black_box(ErdosRenyi::new(20_000, 100_000).generate(black_box(7))))
+    });
+    group.finish();
+}
+
+fn bench_references(c: &mut Criterion) {
+    let graph = Rmat::new(20_000, 100_000).generate(11);
+    let csr = Csr::from_edge_list(&graph);
+    let mut group = c.benchmark_group("reference_algorithms_100k");
+    group.sample_size(10);
+    group.bench_function("bfs", |b| {
+        b.iter(|| black_box(reference::bfs_levels(&csr, VertexId::new(0))))
+    });
+    group.bench_function("pagerank_10", |b| {
+        b.iter(|| black_box(reference::pagerank(&csr, 10, 0.85)))
+    });
+    group.bench_function("connected_components", |b| {
+        b.iter(|| black_box(reference::connected_components(&graph)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_references);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Ablation study beyond the paper's figures: every design choice removed
+//! one at a time from `acc+HyVE-opt`. See `hyve_bench::experiments::ablation`.
+
+fn main() {
+    hyve_bench::experiments::ablation::print();
+}

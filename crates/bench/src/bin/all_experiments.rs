@@ -1,0 +1,27 @@
+//! Regenerates every table and figure of the paper in sequence.
+//!
+//! Set `HYVE_BENCH_SMALL=1` to restrict to the three smaller datasets.
+
+use hyve_bench::experiments as e;
+
+fn main() {
+    let t = std::time::Instant::now();
+    e::table1::print();
+    e::table3::print();
+    e::fig09::print();
+    e::fig10::print();
+    e::fig11::print();
+    e::fig12::print();
+    e::fig13::print();
+    e::fig14::print();
+    e::fig15::print();
+    e::fig16::print();
+    e::fig17::print();
+    e::fig18::print();
+    e::fig19::print();
+    e::fig20::print();
+    e::fig21::print();
+    e::table4::print();
+    e::ablation::print();
+    println!("\nall experiments regenerated in {:.1}s", t.elapsed().as_secs_f64());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig09 experiment. See `hyve_bench::experiments::fig09`.
+
+fn main() {
+    hyve_bench::experiments::fig09::print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig10 experiment. See `hyve_bench::experiments::fig10`.
+
+fn main() {
+    hyve_bench::experiments::fig10::print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig11 experiment. See `hyve_bench::experiments::fig11`.
+
+fn main() {
+    hyve_bench::experiments::fig11::print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig12 experiment. See `hyve_bench::experiments::fig12`.
+
+fn main() {
+    hyve_bench::experiments::fig12::print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig13 experiment. See `hyve_bench::experiments::fig13`.
+
+fn main() {
+    hyve_bench::experiments::fig13::print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig14 experiment. See `hyve_bench::experiments::fig14`.
+
+fn main() {
+    hyve_bench::experiments::fig14::print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig15 experiment. See `hyve_bench::experiments::fig15`.
+
+fn main() {
+    hyve_bench::experiments::fig15::print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig16 experiment. See `hyve_bench::experiments::fig16`.
+
+fn main() {
+    hyve_bench::experiments::fig16::print();
+}

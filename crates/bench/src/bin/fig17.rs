@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig17 experiment. See `hyve_bench::experiments::fig17`.
+
+fn main() {
+    hyve_bench::experiments::fig17::print();
+}

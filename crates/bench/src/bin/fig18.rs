@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig18 experiment. See `hyve_bench::experiments::fig18`.
+
+fn main() {
+    hyve_bench::experiments::fig18::print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig19 experiment. See `hyve_bench::experiments::fig19`.
+
+fn main() {
+    hyve_bench::experiments::fig19::print();
+}

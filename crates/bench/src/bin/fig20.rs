@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig20 experiment. See `hyve_bench::experiments::fig20`.
+
+fn main() {
+    hyve_bench::experiments::fig20::print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig21 experiment. See `hyve_bench::experiments::fig21`.
+
+fn main() {
+    hyve_bench::experiments::fig21::print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table1 experiment. See `hyve_bench::experiments::table1`.
+
+fn main() {
+    hyve_bench::experiments::table1::print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table3 experiment. See `hyve_bench::experiments::table3`.
+
+fn main() {
+    hyve_bench::experiments::table3::print();
+}

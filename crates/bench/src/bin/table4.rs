@@ -1,0 +1,5 @@
+//! Regenerates the paper's table4 experiment. See `hyve_bench::experiments::table4`.
+
+fn main() {
+    hyve_bench::experiments::table4::print();
+}

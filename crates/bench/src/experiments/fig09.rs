@@ -1,0 +1,69 @@
+//! Fig. 9: normalized DRAM/ReRAM performance (delay, energy, EDP) for
+//! sequential-read, sequential-write and 50/50 access mixes at 4/8/16 Gb.
+
+use hyve_model::{compare_edge_storage, AccessPattern};
+
+/// Densities of the paper's sweep.
+pub const DENSITIES: [u32; 3] = [4, 8, 16];
+
+/// One (pattern, density) point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Access mix.
+    pub pattern: AccessPattern,
+    /// Chip density (Gbit).
+    pub density_gbit: u32,
+    /// DRAM/ReRAM delay ratio.
+    pub delay: f64,
+    /// DRAM/ReRAM energy ratio.
+    pub energy: f64,
+    /// DRAM/ReRAM EDP ratio.
+    pub edp: f64,
+}
+
+/// Runs the full pattern × density grid.
+pub fn run() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for pattern in AccessPattern::all() {
+        for density in DENSITIES {
+            let c = compare_edge_storage(density, pattern);
+            rows.push(Row {
+                pattern,
+                density_gbit: density,
+                delay: c.delay_ratio,
+                energy: c.energy_ratio,
+                edp: c.edp_ratio,
+            });
+        }
+    }
+    rows
+}
+
+fn pattern_name(p: AccessPattern) -> &'static str {
+    match p {
+        AccessPattern::SequentialRead => "SeqRead100",
+        AccessPattern::SequentialWrite => "SeqWrite100",
+        AccessPattern::Mixed => "Seq50/50",
+    }
+}
+
+/// Prints the figure's series.
+pub fn print() {
+    let rows: Vec<Vec<String>> = run()
+        .into_iter()
+        .map(|r| {
+            vec![
+                pattern_name(r.pattern).to_string(),
+                format!("{}Gb", r.density_gbit),
+                crate::fmt_f(r.delay),
+                crate::fmt_f(r.energy),
+                crate::fmt_f(r.edp),
+            ]
+        })
+        .collect();
+    crate::print_table(
+        "Fig. 9: normalized DRAM/ReRAM (ratio > 1 favours ReRAM)",
+        &["pattern", "density", "delay", "energy", "EDP"],
+        &rows,
+    );
+}

@@ -1,0 +1,80 @@
+//! Fig. 11: whole-vertex-storage comparison GraphR/HyVE — global
+//! read/write counts, delay, energy, EDP (4 Gb chips, 2 MB SRAM), evaluated
+//! at original dataset scale like Fig. 10.
+
+use super::fig10::original_scale_intervals;
+use crate::workloads::datasets;
+use hyve_graph::block_sparsity;
+use hyve_model::vertex_storage::VertexWorkload;
+use hyve_model::vertex_storage_comparison;
+
+/// One dataset's GraphR/HyVE ratios (the quantities the paper plots).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Dataset tag.
+    pub dataset: &'static str,
+    /// Global sequential read count ratio.
+    pub read_count_ratio: f64,
+    /// Global sequential write count ratio.
+    pub write_count_ratio: f64,
+    /// Total vertex-storage delay ratio.
+    pub delay_ratio: f64,
+    /// Total vertex-storage energy ratio.
+    pub energy_ratio: f64,
+    /// Total vertex-storage EDP ratio.
+    pub edp_ratio: f64,
+}
+
+/// Runs the comparison for every dataset, at original scale (like Fig. 10,
+/// this is an analytic model over Eq. 7–9 traffic counts).
+pub fn run() -> Vec<Row> {
+    datasets()
+        .iter()
+        .map(|(profile, graph)| {
+            let navg = block_sparsity(graph, 8).avg_edges_per_block.max(1.0);
+            let nv = profile.original_vertices;
+            let ne = profile.original_edges;
+            let neb = (ne as f64 / navg) as u64;
+            let p = original_scale_intervals(nv);
+            let (hyve, graphr) = vertex_storage_comparison(VertexWorkload {
+                num_vertices: nv,
+                num_edges: ne,
+                non_empty_blocks: neb,
+                hyve_intervals: p,
+                pus: 8,
+            });
+            Row {
+                dataset: profile.tag,
+                read_count_ratio: graphr.global_reads as f64 / hyve.global_reads as f64,
+                write_count_ratio: graphr.global_writes as f64
+                    / hyve.global_writes as f64,
+                delay_ratio: graphr.total.time / hyve.total.time,
+                energy_ratio: graphr.total.energy / hyve.total.energy,
+                edp_ratio: (graphr.total.time.as_ns() * graphr.total.energy.as_pj())
+                    / (hyve.total.time.as_ns() * hyve.total.energy.as_pj()),
+            }
+        })
+        .collect()
+}
+
+/// Prints the figure's series.
+pub fn print() {
+    let rows: Vec<Vec<String>> = run()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.dataset.to_string(),
+                crate::fmt_f(r.read_count_ratio),
+                crate::fmt_f(r.write_count_ratio),
+                crate::fmt_f(r.delay_ratio),
+                crate::fmt_f(r.energy_ratio),
+                crate::fmt_f(r.edp_ratio),
+            ]
+        })
+        .collect();
+    crate::print_table(
+        "Fig. 11: vertex storage GraphR/HyVE ratios (>1 favours HyVE)",
+        &["dataset", "reads", "writes", "delay", "energy", "EDP"],
+        &rows,
+    );
+}

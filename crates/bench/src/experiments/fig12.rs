@@ -1,0 +1,76 @@
+//! Fig. 12: normalized preprocessing speed as the number of blocks grows.
+//!
+//! The paper's observation: speed is flat up to ~32×32 blocks, then drops
+//! sharply — addressing a large number of blocks dominates. Wall-clock
+//! times are measured on the real partitioner.
+
+use crate::workloads::datasets;
+use hyve_graph::GridGraph;
+use std::time::Instant;
+
+/// Partition side lengths of the sweep (blocks = P²).
+pub const PARTITIONS: [u32; 8] = [4, 8, 16, 32, 64, 128, 256, 512];
+
+/// One dataset's speed curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Dataset tag.
+    pub dataset: &'static str,
+    /// Speedup relative to the P=4 run, per entry of [`PARTITIONS`].
+    pub normalized_speed: [f64; 8],
+}
+
+fn time_partition(graph: &hyve_graph::EdgeList, p: u32) -> f64 {
+    // Best of three to damp scheduler noise.
+    (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            let grid = GridGraph::partition(graph, p).expect("partition");
+            let elapsed = t.elapsed().as_secs_f64();
+            assert_eq!(grid.num_edges(), graph.len() as u64);
+            elapsed
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Measures the sweep for every dataset.
+pub fn run() -> Vec<Row> {
+    datasets()
+        .iter()
+        .map(|(profile, graph)| {
+            let times: Vec<f64> = PARTITIONS
+                .iter()
+                .map(|&p| time_partition(graph, p.min(graph.num_vertices())))
+                .collect();
+            let base = times[0];
+            let mut normalized_speed = [0.0f64; 8];
+            for (i, t) in times.iter().enumerate() {
+                normalized_speed[i] = base / t;
+            }
+            Row {
+                dataset: profile.tag,
+                normalized_speed,
+            }
+        })
+        .collect()
+}
+
+/// Prints the figure's series.
+pub fn print() {
+    let rows: Vec<Vec<String>> = run()
+        .into_iter()
+        .map(|r| {
+            let mut cells = vec![r.dataset.to_string()];
+            cells.extend(r.normalized_speed.iter().map(|&v| crate::fmt_f(v)));
+            cells
+        })
+        .collect();
+    crate::print_table(
+        "Fig. 12: normalized preprocessing speed vs #blocks (P x P)",
+        &[
+            "dataset", "4x4", "8x8", "16x16", "32x32", "64x64", "128x128", "256x256",
+            "512x512",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,65 @@
+//! Fig. 13: energy efficiency with 1/2/3-bit ReRAM cells running PR —
+//! the MLC sense-amplifier overhead outweighs the density win, so SLC wins.
+
+use crate::workloads::{configure, datasets, Algorithm};
+use hyve_core::{Engine, SystemConfig};
+use hyve_memsim::CellBits;
+
+/// One dataset's efficiency per cell type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Dataset tag.
+    pub dataset: &'static str,
+    /// MTEPS/W for [SLC, 2-bit MLC, 3-bit MLC].
+    pub mteps_per_watt: [f64; 3],
+}
+
+impl Row {
+    /// True if the single-level cell is the best choice (the paper's
+    /// conclusion).
+    pub fn slc_wins(&self) -> bool {
+        self.mteps_per_watt[0] >= self.mteps_per_watt[1]
+            && self.mteps_per_watt[0] >= self.mteps_per_watt[2]
+    }
+}
+
+/// Runs PR under each cell configuration.
+pub fn run() -> Vec<Row> {
+    datasets()
+        .iter()
+        .map(|(profile, graph)| {
+            let mut eff = [0.0f64; 3];
+            for (i, bits) in CellBits::all().into_iter().enumerate() {
+                let cfg = configure(SystemConfig::hyve().with_cell_bits(bits), profile);
+                eff[i] = Algorithm::Pr
+                    .run_hyve(&Engine::new(cfg), graph)
+                    .mteps_per_watt();
+            }
+            Row {
+                dataset: profile.tag,
+                mteps_per_watt: eff,
+            }
+        })
+        .collect()
+}
+
+/// Prints the figure's series.
+pub fn print() {
+    let rows: Vec<Vec<String>> = run()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.dataset.to_string(),
+                crate::fmt_f(r.mteps_per_watt[0]),
+                crate::fmt_f(r.mteps_per_watt[1]),
+                crate::fmt_f(r.mteps_per_watt[2]),
+                if r.slc_wins() { "SLC" } else { "MLC" }.to_string(),
+            ]
+        })
+        .collect();
+    crate::print_table(
+        "Fig. 13: MTEPS/W by ReRAM cell bits (PR)",
+        &["dataset", "1bit", "2bits", "3bits", "winner"],
+        &rows,
+    );
+}

@@ -1,0 +1,80 @@
+//! Fig. 14: energy-efficiency improvement from data sharing, per algorithm
+//! and dataset. Baseline: sharing disabled — every step reloads source
+//! intervals from the global vertex memory.
+//!
+//! Paper averages: BFS 1.15×, CC 1.47×, PR 2.19× (1.60× overall) — PR's
+//! wider vertices move the most data, so it benefits the most.
+
+use crate::workloads::{configure, datasets, Algorithm};
+use hyve_core::{Engine, SystemConfig};
+
+/// One (algorithm, dataset) improvement factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Algorithm tag.
+    pub algorithm: &'static str,
+    /// Dataset tag.
+    pub dataset: &'static str,
+    /// MTEPS/W with sharing over MTEPS/W without.
+    pub improvement: f64,
+}
+
+/// Runs the comparison grid.
+pub fn run() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (profile, graph) in &datasets() {
+        for alg in Algorithm::core_three() {
+            let base_cfg = configure(SystemConfig::hyve().with_data_sharing(false), profile);
+            let shared_cfg = configure(SystemConfig::hyve(), profile);
+            let base = alg.run_hyve(&Engine::new(base_cfg), graph).mteps_per_watt();
+            let shared = alg
+                .run_hyve(&Engine::new(shared_cfg), graph)
+                .mteps_per_watt();
+            rows.push(Row {
+                algorithm: alg.tag(),
+                dataset: profile.tag,
+                improvement: shared / base,
+            });
+        }
+    }
+    rows
+}
+
+/// Geometric-mean improvement per algorithm, in BFS/CC/PR order.
+pub fn mean_by_algorithm(rows: &[Row]) -> Vec<(&'static str, f64)> {
+    ["BFS", "CC", "PR"]
+        .iter()
+        .map(|tag| {
+            let vals: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.algorithm == *tag)
+                .map(|r| r.improvement)
+                .collect();
+            let gm = vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64;
+            (*tag, gm.exp())
+        })
+        .collect()
+}
+
+/// Prints the figure's series.
+pub fn print() {
+    let rows = run();
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.algorithm.to_string(),
+                r.dataset.to_string(),
+                crate::fmt_f(r.improvement),
+            ]
+        })
+        .collect();
+    crate::print_table(
+        "Fig. 14: data-sharing improvement (MTEPS/W ratio)",
+        &["alg", "dataset", "improvement"],
+        &cells,
+    );
+    for (alg, mean) in mean_by_algorithm(&rows) {
+        println!("{alg} mean: {:.2}x", mean);
+    }
+}

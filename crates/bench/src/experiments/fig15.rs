@@ -1,0 +1,67 @@
+//! Fig. 15: energy-efficiency improvement from bank-level power gating,
+//! per algorithm and dataset (paper average: 1.53× over acc+HyVE).
+
+use crate::workloads::{configure, datasets, Algorithm};
+use hyve_core::{Engine, SystemConfig};
+
+/// One (algorithm, dataset) improvement factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Algorithm tag.
+    pub algorithm: &'static str,
+    /// Dataset tag.
+    pub dataset: &'static str,
+    /// MTEPS/W with gating over MTEPS/W without.
+    pub improvement: f64,
+}
+
+/// Runs the comparison grid.
+pub fn run() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (profile, graph) in &datasets() {
+        for alg in Algorithm::core_three() {
+            let base = alg
+                .run_hyve(&Engine::new(configure(SystemConfig::hyve(), profile)), graph)
+                .mteps_per_watt();
+            let gated = alg
+                .run_hyve(
+                    &Engine::new(configure(SystemConfig::hyve_opt(), profile)),
+                    graph,
+                )
+                .mteps_per_watt();
+            rows.push(Row {
+                algorithm: alg.tag(),
+                dataset: profile.tag,
+                improvement: gated / base,
+            });
+        }
+    }
+    rows
+}
+
+/// Geometric-mean improvement across all rows.
+pub fn overall_mean(rows: &[Row]) -> f64 {
+    let gm = rows.iter().map(|r| r.improvement.ln()).sum::<f64>() / rows.len() as f64;
+    gm.exp()
+}
+
+/// Prints the figure's series.
+pub fn print() {
+    let rows = run();
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.algorithm.to_string(),
+                r.dataset.to_string(),
+                crate::fmt_f(r.improvement),
+            ]
+        })
+        .collect();
+    crate::print_table(
+        "Fig. 15: power-gating improvement (MTEPS/W ratio)",
+        &["alg", "dataset", "improvement"],
+        &cells,
+    );
+    println!("overall mean: {:.2}x (paper: 1.53x)", overall_mean(&rows));
+}

@@ -1,0 +1,109 @@
+//! Fig. 16: energy efficiency (MTEPS/W) across the seven system
+//! configurations (two CPU baselines, five accelerator hierarchies) for
+//! BFS, CC and PR on every dataset.
+
+use crate::workloads::{configure, datasets, Algorithm};
+use hyve_baselines::CpuSystem;
+use hyve_core::{Engine, SystemConfig};
+
+/// Configuration labels in the paper's legend order.
+pub const CONFIGS: [&str; 7] = [
+    "CPU+DRAM",
+    "CPU+DRAM-opt",
+    "acc+DRAM",
+    "acc+ReRAM",
+    "acc+SRAM+DRAM",
+    "acc+HyVE",
+    "acc+HyVE-opt",
+];
+
+/// One (algorithm, dataset) line across all configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Algorithm tag.
+    pub algorithm: &'static str,
+    /// Dataset tag.
+    pub dataset: &'static str,
+    /// MTEPS/W per entry of [`CONFIGS`].
+    pub mteps_per_watt: [f64; 7],
+}
+
+impl Row {
+    /// HyVE-opt's improvement over a named configuration.
+    pub fn improvement_over(&self, config: &str) -> f64 {
+        let idx = CONFIGS
+            .iter()
+            .position(|c| *c == config)
+            .expect("unknown configuration");
+        self.mteps_per_watt[6] / self.mteps_per_watt[idx]
+    }
+}
+
+/// Runs the grid. CPU baselines charge the same edge-iteration workload the
+/// accelerator processes (iterations × edges).
+pub fn run() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (profile, graph) in &datasets() {
+        for alg in Algorithm::core_three() {
+            let mut eff = [0.0f64; 7];
+            let acc_configs = [
+                SystemConfig::acc_dram(),
+                SystemConfig::acc_reram(),
+                SystemConfig::acc_sram_dram(),
+                SystemConfig::hyve(),
+                SystemConfig::hyve_opt(),
+            ];
+            let mut edges_processed = 0;
+            for (i, cfg) in acc_configs.into_iter().enumerate() {
+                let report = alg.run_hyve(&Engine::new(configure(cfg, profile)), graph);
+                edges_processed = report.edges_processed;
+                eff[2 + i] = report.mteps_per_watt();
+            }
+            eff[0] = CpuSystem::nxgraph_like().mteps_per_watt(edges_processed);
+            eff[1] = CpuSystem::galois_like().mteps_per_watt(edges_processed);
+            rows.push(Row {
+                algorithm: alg.tag(),
+                dataset: profile.tag,
+                mteps_per_watt: eff,
+            });
+        }
+    }
+    rows
+}
+
+/// Geometric mean of HyVE-opt's improvement over a configuration.
+pub fn mean_improvement(rows: &[Row], config: &str) -> f64 {
+    let gm = rows
+        .iter()
+        .map(|r| r.improvement_over(config).ln())
+        .sum::<f64>()
+        / rows.len() as f64;
+    gm.exp()
+}
+
+/// Prints the figure's series.
+pub fn print() {
+    let rows = run();
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut c = vec![r.algorithm.to_string(), r.dataset.to_string()];
+            c.extend(r.mteps_per_watt.iter().map(|&v| crate::fmt_f(v)));
+            c
+        })
+        .collect();
+    let mut headers = vec!["alg", "dataset"];
+    headers.extend(CONFIGS);
+    crate::print_table("Fig. 16: MTEPS/W by configuration", &headers, &cells);
+    for (cfg, paper) in [
+        ("CPU+DRAM", 145.71),
+        ("acc+DRAM", 5.90),
+        ("acc+ReRAM", 4.54),
+        ("acc+SRAM+DRAM", 2.00),
+    ] {
+        println!(
+            "HyVE-opt vs {cfg}: {:.2}x (paper: {paper}x)",
+            mean_improvement(&rows, cfg)
+        );
+    }
+}

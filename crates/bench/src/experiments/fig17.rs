@@ -1,0 +1,100 @@
+//! Fig. 17: energy-consumption breakdown (logic / edge memory / vertex
+//! memory) for acc+SRAM+DRAM (SD), acc+HyVE and acc+HyVE-opt.
+//!
+//! The paper's takeaways: memory is 88.62% of SD's energy, 75.68% of
+//! HyVE's, 52.91% of opt's; the edge-memory bar is what collapses.
+
+use crate::workloads::{configure, datasets, Algorithm};
+use hyve_core::{Engine, SystemConfig};
+
+/// One (config, algorithm, dataset) breakdown, in percent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Configuration label ("SD", "HyVE", "opt").
+    pub config: &'static str,
+    /// Algorithm tag.
+    pub algorithm: &'static str,
+    /// Dataset tag.
+    pub dataset: &'static str,
+    /// Percent of energy in logic.
+    pub logic_pct: f64,
+    /// Percent of energy in edge memory.
+    pub edge_pct: f64,
+    /// Percent of energy in vertex memory (on-chip + off-chip).
+    pub vertex_pct: f64,
+}
+
+impl Row {
+    /// Memory (edge + vertex) share of total energy.
+    pub fn memory_pct(&self) -> f64 {
+        self.edge_pct + self.vertex_pct
+    }
+}
+
+/// Runs the three-configuration breakdown grid.
+pub fn run() -> Vec<Row> {
+    let mut rows = Vec::new();
+    let configs: [(&'static str, SystemConfig); 3] = [
+        ("SD", SystemConfig::acc_sram_dram()),
+        ("HyVE", SystemConfig::hyve()),
+        ("opt", SystemConfig::hyve_opt()),
+    ];
+    for (label, cfg) in configs {
+        for (profile, graph) in &datasets() {
+            for alg in Algorithm::core_three() {
+                let report =
+                    alg.run_hyve(&Engine::new(configure(cfg.clone(), profile)), graph);
+                let total = report.energy().as_pj();
+                let b = &report.breakdown;
+                rows.push(Row {
+                    config: label,
+                    algorithm: alg.tag(),
+                    dataset: profile.tag,
+                    logic_pct: 100.0 * b.logic.total_energy().as_pj() / total,
+                    edge_pct: 100.0 * b.edge_memory.total_energy().as_pj() / total,
+                    vertex_pct: 100.0 * b.vertex_memory().as_pj() / total,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Mean memory share for a configuration label.
+pub fn mean_memory_pct(rows: &[Row], config: &str) -> f64 {
+    let vals: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.config == config)
+        .map(Row::memory_pct)
+        .collect();
+    vals.iter().sum::<f64>() / vals.len() as f64
+}
+
+/// Prints the figure's series.
+pub fn print() {
+    let rows = run();
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.to_string(),
+                r.algorithm.to_string(),
+                r.dataset.to_string(),
+                crate::fmt_f(r.logic_pct),
+                crate::fmt_f(r.edge_pct),
+                crate::fmt_f(r.vertex_pct),
+            ]
+        })
+        .collect();
+    crate::print_table(
+        "Fig. 17: energy breakdown (%)",
+        &["config", "alg", "dataset", "logic", "edge", "vertex"],
+        &cells,
+    );
+    for (label, paper) in [("SD", 88.62), ("HyVE", 75.68), ("opt", 52.91)] {
+        println!(
+            "{label} memory share: {:.1}% (paper: {paper}%)",
+            mean_memory_pct(&rows, label)
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Fig. 18: absolute system performance — execution-time ratio SD/HyVE.
+//!
+//! The paper's point: swapping DRAM edge memory for ReRAM costs almost
+//! nothing in raw performance (geometric-mean slowdowns of 1.9%, 2.5% and
+//! 15.1% for BFS, CC, PR).
+
+use crate::workloads::{configure, datasets, Algorithm};
+use hyve_core::{Engine, SystemConfig};
+
+/// One (algorithm, dataset) performance ratio.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Algorithm tag.
+    pub algorithm: &'static str,
+    /// Dataset tag.
+    pub dataset: &'static str,
+    /// `time(SD) / time(HyVE)` — ≤ 1 means HyVE is (slightly) slower.
+    pub sd_over_hyve: f64,
+}
+
+/// Runs the comparison grid.
+pub fn run() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (profile, graph) in &datasets() {
+        for alg in Algorithm::core_three() {
+            let sd = alg
+                .run_hyve(
+                    &Engine::new(configure(SystemConfig::acc_sram_dram(), profile)),
+                    graph,
+                )
+                .elapsed();
+            let hyve = alg
+                .run_hyve(&Engine::new(configure(SystemConfig::hyve(), profile)), graph)
+                .elapsed();
+            rows.push(Row {
+                algorithm: alg.tag(),
+                dataset: profile.tag,
+                sd_over_hyve: sd / hyve,
+            });
+        }
+    }
+    rows
+}
+
+/// Geometric-mean slowdown (1 − ratio) per algorithm tag.
+pub fn mean_slowdown(rows: &[Row], alg: &str) -> f64 {
+    let vals: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.algorithm == alg)
+        .map(|r| r.sd_over_hyve.ln())
+        .collect();
+    1.0 - (vals.iter().sum::<f64>() / vals.len() as f64).exp()
+}
+
+/// Prints the figure's series.
+pub fn print() {
+    let rows = run();
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.algorithm.to_string(),
+                r.dataset.to_string(),
+                crate::fmt_f(r.sd_over_hyve),
+            ]
+        })
+        .collect();
+    crate::print_table(
+        "Fig. 18: execution time ratio SD/HyVE (1.0 = parity)",
+        &["alg", "dataset", "SD/HyVE"],
+        &cells,
+    );
+    for (alg, paper) in [("BFS", 1.9), ("CC", 2.5), ("PR", 15.1)] {
+        println!(
+            "{alg} slowdown: {:.1}% (paper: {paper}%)",
+            100.0 * mean_slowdown(&rows, alg)
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Fig. 19: preprocessing-time ratio GraphR/HyVE (paper: 6.73× on average).
+//!
+//! Both preprocessors are real code paths measured by wall clock: HyVE's
+//! dense counting-sort into its planned P×P grid versus GraphR's
+//! associative build of `⌈V/8⌉²` logical 8×8 blocks.
+
+use crate::workloads::{configure, datasets};
+use hyve_algorithms::PageRank;
+use hyve_core::{Engine, SystemConfig};
+use hyve_graph::GridGraph;
+use std::time::Instant;
+
+/// One dataset's preprocessing-time ratio.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Dataset tag.
+    pub dataset: &'static str,
+    /// HyVE preprocessing time (seconds).
+    pub hyve_s: f64,
+    /// GraphR preprocessing time (seconds).
+    pub graphr_s: f64,
+    /// GraphR / HyVE ratio.
+    pub ratio: f64,
+}
+
+fn best_of<F: FnMut()>(mut f: F) -> f64 {
+    (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Measures both preprocessors for every dataset.
+pub fn run() -> Vec<Row> {
+    datasets()
+        .iter()
+        .map(|(profile, graph)| {
+            let engine = Engine::new(configure(SystemConfig::hyve(), profile));
+            let p = engine.plan_intervals(&PageRank::new(10), graph.num_vertices());
+            let hyve_s = best_of(|| {
+                let grid = GridGraph::partition(graph, p).expect("partition");
+                assert_eq!(grid.num_edges(), graph.len() as u64);
+            });
+            let graphr_s = best_of(|| {
+                let layout = hyve_graphr::preprocess(graph);
+                assert_eq!(layout.num_edges(), graph.len() as u64);
+            });
+            Row {
+                dataset: profile.tag,
+                hyve_s,
+                graphr_s,
+                ratio: graphr_s / hyve_s,
+            }
+        })
+        .collect()
+}
+
+/// Prints the figure's series.
+pub fn print() {
+    let rows = run();
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.to_string(),
+                format!("{:.4}s", r.hyve_s),
+                format!("{:.4}s", r.graphr_s),
+                crate::fmt_f(r.ratio),
+            ]
+        })
+        .collect();
+    crate::print_table(
+        "Fig. 19: preprocessing time (GraphR/HyVE, paper avg 6.73x)",
+        &["dataset", "HyVE", "GraphR", "ratio"],
+        &cells,
+    );
+    let gm = rows.iter().map(|r| r.ratio.ln()).sum::<f64>() / rows.len() as f64;
+    println!("mean ratio: {:.2}x", gm.exp());
+}

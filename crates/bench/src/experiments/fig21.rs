@@ -1,0 +1,74 @@
+//! Fig. 21: overall GraphR/HyVE comparison — delay, energy and EDP for all
+//! five algorithms (paper: HyVE 5.12× faster, 2.83× less energy, 17.63×
+//! lower EDP on average).
+
+use crate::workloads::{configure, datasets, Algorithm};
+use hyve_core::{Engine, SystemConfig};
+use hyve_graphr::GraphrEngine;
+
+/// One (algorithm, dataset) ratio triple (GraphR / HyVE; > 1 favours HyVE).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Algorithm tag.
+    pub algorithm: &'static str,
+    /// Dataset tag.
+    pub dataset: &'static str,
+    /// Delay ratio.
+    pub delay: f64,
+    /// Energy ratio.
+    pub energy: f64,
+    /// EDP ratio.
+    pub edp: f64,
+}
+
+/// Runs the five-algorithm grid.
+pub fn run() -> Vec<Row> {
+    let graphr = GraphrEngine::new();
+    let mut rows = Vec::new();
+    for (profile, graph) in &datasets() {
+        let hyve = Engine::new(configure(SystemConfig::hyve(), profile));
+        for alg in Algorithm::all_five() {
+            let h = alg.run_hyve(&hyve, graph);
+            let g = alg.run_graphr(&graphr, graph);
+            rows.push(Row {
+                algorithm: alg.tag(),
+                dataset: profile.tag,
+                delay: g.elapsed() / h.elapsed(),
+                energy: g.energy() / h.energy(),
+                edp: g.edp().as_pj_ns() / h.edp().as_pj_ns(),
+            });
+        }
+    }
+    rows
+}
+
+/// Geometric means across all rows: (delay, energy, edp).
+pub fn means(rows: &[Row]) -> (f64, f64, f64) {
+    let n = rows.len() as f64;
+    let gm = |f: fn(&Row) -> f64| (rows.iter().map(|r| f(r).ln()).sum::<f64>() / n).exp();
+    (gm(|r| r.delay), gm(|r| r.energy), gm(|r| r.edp))
+}
+
+/// Prints the figure's series.
+pub fn print() {
+    let rows = run();
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.algorithm.to_string(),
+                r.dataset.to_string(),
+                crate::fmt_f(r.delay),
+                crate::fmt_f(r.energy),
+                crate::fmt_f(r.edp),
+            ]
+        })
+        .collect();
+    crate::print_table(
+        "Fig. 21: GraphR/HyVE ratios (>1 favours HyVE)",
+        &["alg", "dataset", "delay", "energy", "EDP"],
+        &cells,
+    );
+    let (d, e, x) = means(&rows);
+    println!("means: delay {d:.2}x (paper 5.12), energy {e:.2}x (paper 2.83), EDP {x:.2}x (paper 17.63)");
+}

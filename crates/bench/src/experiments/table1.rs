@@ -1,0 +1,68 @@
+//! Table 1: average edges in non-empty 8×8 blocks (`Navg`).
+//!
+//! Paper values: YT 1.44, WK 1.23, AS 2.38, LJ 1.49, TW 1.73 — the
+//! sparsity that caps GraphR's intra-crossbar parallelism.
+
+use crate::workloads::datasets;
+use hyve_graph::block_sparsity;
+
+/// One dataset's occupancy statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Dataset tag.
+    pub dataset: &'static str,
+    /// Average edges per non-empty 8×8 block.
+    pub navg: f64,
+    /// Non-empty block count.
+    pub non_empty_blocks: u64,
+    /// The paper's measured Navg for the original dataset.
+    pub paper_navg: f64,
+}
+
+/// Paper Navg per dataset tag.
+pub fn paper_navg(tag: &str) -> f64 {
+    match tag {
+        "YT" => 1.44,
+        "WK" => 1.23,
+        "AS" => 2.38,
+        "LJ" => 1.49,
+        "TW" => 1.73,
+        _ => f64::NAN,
+    }
+}
+
+/// Computes Navg for every dataset profile.
+pub fn run() -> Vec<Row> {
+    datasets()
+        .iter()
+        .map(|(profile, graph)| {
+            let stats = block_sparsity(graph, 8);
+            Row {
+                dataset: profile.tag,
+                navg: stats.avg_edges_per_block,
+                non_empty_blocks: stats.non_empty_blocks,
+                paper_navg: paper_navg(profile.tag),
+            }
+        })
+        .collect()
+}
+
+/// Prints the table.
+pub fn print() {
+    let rows: Vec<Vec<String>> = run()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.dataset.to_string(),
+                crate::fmt_f(r.navg),
+                r.non_empty_blocks.to_string(),
+                crate::fmt_f(r.paper_navg),
+            ]
+        })
+        .collect();
+    crate::print_table(
+        "Table 1: avg edges in non-empty 8x8 blocks",
+        &["dataset", "Navg", "blocks", "paper Navg"],
+        &rows,
+    );
+}

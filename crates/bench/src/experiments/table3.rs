@@ -1,0 +1,70 @@
+//! Table 3: ReRAM bank power under different configurations — the design
+//! decision that picks the 512-bit energy-optimized bank.
+
+use hyve_memsim::reram::TABLE3_PROFILES;
+use hyve_memsim::{OptimizationTarget, ReramBankProfile};
+
+/// One bank configuration's figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Optimization target.
+    pub target: OptimizationTarget,
+    /// Output width in bits.
+    pub output_bits: u32,
+    /// Energy per read access (pJ).
+    pub energy_pj: f64,
+    /// Working period (ps).
+    pub period_ps: f64,
+    /// Power per bit (mW/bit) — the ranking metric.
+    pub power_per_bit_mw: f64,
+}
+
+/// All eight Table 3 rows.
+pub fn run() -> Vec<Row> {
+    TABLE3_PROFILES
+        .iter()
+        .map(|(target, p): &(OptimizationTarget, ReramBankProfile)| Row {
+            target: *target,
+            output_bits: p.output_bits,
+            energy_pj: p.read_energy.as_pj(),
+            period_ps: p.period.as_ps(),
+            power_per_bit_mw: p.power_per_bit().as_mw(),
+        })
+        .collect()
+}
+
+/// The configuration every later experiment adopts (lowest power/bit).
+pub fn chosen() -> Row {
+    run()
+        .into_iter()
+        .min_by(|a, b| a.power_per_bit_mw.total_cmp(&b.power_per_bit_mw))
+        .expect("table is non-empty")
+}
+
+/// Prints the table.
+pub fn print() {
+    let rows: Vec<Vec<String>> = run()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.target.to_string(),
+                format!("{}bits", r.output_bits),
+                crate::fmt_f(r.energy_pj),
+                crate::fmt_f(r.period_ps),
+                crate::fmt_f(r.power_per_bit_mw),
+            ]
+        })
+        .collect();
+    crate::print_table(
+        "Table 3: bank configurations (energy pJ / period ps / mW per bit)",
+        &["target", "width", "energy", "period", "mW/bit"],
+        &rows,
+    );
+    let c = chosen();
+    println!(
+        "chosen: {} {} bits ({} mW/bit)",
+        c.target,
+        c.output_bits,
+        crate::fmt_f(c.power_per_bit_mw)
+    );
+}

@@ -1,0 +1,98 @@
+//! Table 4: energy efficiency (MTEPS/W) sweeping SRAM capacity
+//! {2, 4, 8, 16 MB} × {± power gating} × {± data sharing} for BFS/CC/PR on
+//! every dataset — the design-space exploration behind the paper's SRAM
+//! sweet-spot conclusion.
+
+use crate::workloads::{configure, datasets, Algorithm};
+use hyve_core::{Engine, SystemConfig};
+
+/// SRAM capacities of the paper's sweep.
+pub const SRAM_MB: [u64; 4] = [2, 4, 8, 16];
+
+/// One (algorithm, dataset) line across the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Algorithm tag.
+    pub algorithm: &'static str,
+    /// Dataset tag.
+    pub dataset: &'static str,
+    /// Power gating enabled.
+    pub power_gating: bool,
+    /// Data sharing enabled.
+    pub data_sharing: bool,
+    /// MTEPS/W at each capacity in [`SRAM_MB`] order.
+    pub mteps_per_watt: [f64; 4],
+}
+
+impl Row {
+    /// The capacity (MB) with the best efficiency.
+    pub fn sweet_spot_mb(&self) -> u64 {
+        let (i, _) = self
+            .mteps_per_watt
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty");
+        SRAM_MB[i]
+    }
+}
+
+/// Runs the full sweep.
+pub fn run() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (profile, graph) in &datasets() {
+        for alg in Algorithm::core_three() {
+            for gating in [false, true] {
+                for sharing in [false, true] {
+                    let mut eff = [0.0f64; 4];
+                    for (i, mb) in SRAM_MB.iter().enumerate() {
+                        let cfg = configure(
+                            SystemConfig::hyve()
+                                .with_sram_mb(*mb)
+                                .with_data_sharing(sharing)
+                                .with_power_gating(gating),
+                            profile,
+                        );
+                        let report = alg.run_hyve(&Engine::new(cfg), graph);
+                        eff[i] = report.mteps_per_watt();
+                    }
+                    rows.push(Row {
+                        algorithm: alg.tag(),
+                        dataset: profile.tag,
+                        power_gating: gating,
+                        data_sharing: sharing,
+                        mteps_per_watt: eff,
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Prints the table grouped like the paper's four column blocks.
+pub fn print() {
+    let rows = run();
+    for (gating, sharing, label) in [
+        (false, false, "w/o power-gating, w/o sharing"),
+        (false, true, "w/o power-gating, w/ sharing"),
+        (true, false, "w/ power-gating, w/o sharing"),
+        (true, true, "w/ power-gating, w/ sharing"),
+    ] {
+        let block: Vec<Vec<String>> = rows
+            .iter()
+            .filter(|r| r.power_gating == gating && r.data_sharing == sharing)
+            .map(|r| {
+                let mut cells = vec![r.algorithm.to_string(), r.dataset.to_string()];
+                cells.extend(r.mteps_per_watt.iter().map(|&v| crate::fmt_f(v)));
+                cells.push(format!("{}MB", r.sweet_spot_mb()));
+                cells
+            })
+            .collect();
+        crate::print_table(
+            &format!("Table 4 ({label}): MTEPS/W vs SRAM size"),
+            &["alg", "dataset", "2MB", "4MB", "8MB", "16MB", "best"],
+            &block,
+        );
+    }
+}

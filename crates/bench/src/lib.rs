@@ -1,0 +1,58 @@
+//! # hyve-bench — experiment harness for the HyVE reproduction
+//!
+//! One module (and one binary) per table and figure of the paper's
+//! evaluation. Each experiment returns structured rows so the binaries, the
+//! `all_experiments` driver and the tests share one implementation.
+//!
+//! | paper artifact | module | binary |
+//! |---|---|---|
+//! | Table 1 (Navg) | [`experiments::table1`] | `table1` |
+//! | Table 3 (bank configs) | [`experiments::table3`] | `table3` |
+//! | Table 4 (SRAM sweep) | [`experiments::table4`] | `table4` |
+//! | Fig. 9 (edge storage) | [`experiments::fig09`] | `fig09` |
+//! | Fig. 10 (global vertex EDP) | [`experiments::fig10`] | `fig10` |
+//! | Fig. 11 (vertex storage) | [`experiments::fig11`] | `fig11` |
+//! | Fig. 12 (preprocessing vs P) | [`experiments::fig12`] | `fig12` |
+//! | Fig. 13 (cell bits) | [`experiments::fig13`] | `fig13` |
+//! | Fig. 14 (data sharing) | [`experiments::fig14`] | `fig14` |
+//! | Fig. 15 (power gating) | [`experiments::fig15`] | `fig15` |
+//! | Fig. 16 (config comparison) | [`experiments::fig16`] | `fig16` |
+//! | Fig. 17 (energy breakdown) | [`experiments::fig17`] | `fig17` |
+//! | Fig. 18 (absolute performance) | [`experiments::fig18`] | `fig18` |
+//! | Fig. 19 (preprocessing time) | [`experiments::fig19`] | `fig19` |
+//! | Fig. 20 (dynamic throughput) | [`experiments::fig20`] | `fig20` |
+//! | Fig. 21 (GraphR comparison) | [`experiments::fig21`] | `fig21` |
+//!
+//! `cargo run -p hyve-bench --release --bin all_experiments` regenerates
+//! everything in sequence.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod workloads;
+
+use std::fmt::Display;
+
+/// Prints a fixed-width table: a header row then data rows.
+pub fn print_table<H: Display, R: Display>(title: &str, headers: &[H], rows: &[Vec<R>]) {
+    println!("\n== {title} ==");
+    let header_line: Vec<String> = headers.iter().map(|h| format!("{h:>12}")).collect();
+    println!("{}", header_line.join(" "));
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|c| format!("{c:>12}")).collect();
+        println!("{}", line.join(" "));
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}

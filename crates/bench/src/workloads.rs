@@ -1,0 +1,138 @@
+//! Shared workload construction: datasets, algorithms and run helpers.
+
+use hyve_algorithms::{Bfs, ConnectedComponents, PageRank, SpMv, Sssp};
+use hyve_core::{Engine, RunReport, SystemConfig};
+use hyve_graph::{DatasetProfile, EdgeList, VertexId};
+
+/// Seed used for every generated dataset so all experiments see the same
+/// graphs.
+pub const SEED: u64 = 2018;
+
+/// The five evaluation graphs in Table 2's order. Set `HYVE_BENCH_SMALL=1`
+/// to restrict to the three smaller graphs for quick iterations.
+pub fn datasets() -> Vec<(DatasetProfile, EdgeList)> {
+    let profiles = if std::env::var_os("HYVE_BENCH_SMALL").is_some() {
+        DatasetProfile::all_small()
+    } else {
+        DatasetProfile::all()
+    };
+    profiles
+        .into_iter()
+        .map(|p| {
+            let g = p.generate(SEED);
+            (p, g)
+        })
+        .collect()
+}
+
+/// Dataset scale factor for a profile (TW is scaled harder, see DESIGN.md).
+pub fn scale_for(profile: &DatasetProfile) -> u32 {
+    match profile.tag {
+        "TW" => 512,
+        _ => 64,
+    }
+}
+
+/// Applies the profile's scale factor to a configuration.
+pub fn configure(cfg: SystemConfig, profile: &DatasetProfile) -> SystemConfig {
+    cfg.with_dataset_scale(scale_for(profile))
+}
+
+/// The three core algorithms of the main evaluation (§7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// PageRank, 10 iterations.
+    Pr,
+    /// Breadth-first search from vertex 0.
+    Bfs,
+    /// Connected components.
+    Cc,
+    /// Single-source shortest paths (GraphR comparison, §7.4.3).
+    Sssp,
+    /// Sparse matrix–vector multiplication (GraphR comparison, §7.4.3).
+    SpMv,
+}
+
+impl Algorithm {
+    /// The main-evaluation trio.
+    pub fn core_three() -> [Algorithm; 3] {
+        [Algorithm::Bfs, Algorithm::Cc, Algorithm::Pr]
+    }
+
+    /// The five algorithms of the GraphR comparison.
+    pub fn all_five() -> [Algorithm; 5] {
+        [
+            Algorithm::Bfs,
+            Algorithm::Cc,
+            Algorithm::Pr,
+            Algorithm::Sssp,
+            Algorithm::SpMv,
+        ]
+    }
+
+    /// Display tag matching the paper's figures.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Algorithm::Pr => "PR",
+            Algorithm::Bfs => "BFS",
+            Algorithm::Cc => "CC",
+            Algorithm::Sssp => "SSSP",
+            Algorithm::SpMv => "SpMV",
+        }
+    }
+
+    /// Runs this algorithm on the HyVE engine.
+    pub fn run_hyve(self, engine: &Engine, graph: &EdgeList) -> RunReport {
+        match self {
+            Algorithm::Pr => engine.run_on_edge_list(&PageRank::new(10), graph),
+            Algorithm::Bfs => engine.run_on_edge_list(&Bfs::new(VertexId::new(0)), graph),
+            Algorithm::Cc => engine.run_on_edge_list(&ConnectedComponents::new(), graph),
+            Algorithm::Sssp => {
+                engine.run_on_edge_list(&Sssp::new(VertexId::new(0)), graph)
+            }
+            Algorithm::SpMv => engine.run_on_edge_list(&SpMv::new(), graph),
+        }
+        .expect("engine run failed")
+    }
+
+    /// Runs this algorithm on the GraphR engine.
+    pub fn run_graphr(self, engine: &hyve_graphr::GraphrEngine, graph: &EdgeList) -> RunReport {
+        match self {
+            Algorithm::Pr => engine.run(&PageRank::new(10), graph),
+            Algorithm::Bfs => engine.run(&Bfs::new(VertexId::new(0)), graph),
+            Algorithm::Cc => engine.run(&ConnectedComponents::new(), graph),
+            Algorithm::Sssp => engine.run(&Sssp::new(VertexId::new(0)), graph),
+            Algorithm::SpMv => engine.run(&SpMv::new(), graph),
+        }
+        .expect("GraphR run failed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_are_deterministic() {
+        std::env::set_var("HYVE_BENCH_SMALL", "1");
+        let a = datasets();
+        let b = datasets();
+        assert_eq!(a.len(), b.len());
+        for ((pa, ga), (pb, gb)) in a.iter().zip(b.iter()) {
+            assert_eq!(pa.tag, pb.tag);
+            assert_eq!(ga, gb);
+        }
+    }
+
+    #[test]
+    fn scale_factors() {
+        assert_eq!(scale_for(&DatasetProfile::twitter_scaled()), 512);
+        assert_eq!(scale_for(&DatasetProfile::youtube_scaled()), 64);
+    }
+
+    #[test]
+    fn algorithm_tags() {
+        assert_eq!(Algorithm::core_three().map(|a| a.tag()), ["BFS", "CC", "PR"]);
+        assert_eq!(Algorithm::all_five().len(), 5);
+    }
+}

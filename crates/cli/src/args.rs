@@ -1,0 +1,351 @@
+//! Hand-rolled argument parsing for the `hyve` CLI.
+
+use crate::CliError;
+use std::collections::HashMap;
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `hyve run ...`
+    Run(RunArgs),
+    /// `hyve compare ...`
+    Compare(CompareArgs),
+    /// `hyve sweep ...`
+    Sweep(SweepArgs),
+    /// `hyve recommend ...`
+    Recommend(RecommendArgs),
+    /// `hyve info ...`
+    Info(SourceArgs),
+    /// `hyve gen ...`
+    Gen(GenArgs),
+    /// `hyve help` / `--help`
+    Help,
+}
+
+/// Where the graph comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphSource {
+    /// A named scaled dataset profile (yt/wk/as/lj/tw).
+    Dataset(String),
+    /// A SNAP-format edge-list file.
+    File(String),
+}
+
+/// Shared graph-source arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceArgs {
+    /// The graph source.
+    pub source: GraphSource,
+    /// Generator seed for dataset profiles.
+    pub seed: u64,
+}
+
+/// `hyve run` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Algorithm name (pr/bfs/cc/sssp/spmv).
+    pub algorithm: String,
+    /// System configuration name.
+    pub config: String,
+    /// Graph source.
+    pub source: SourceArgs,
+    /// PR iteration count.
+    pub iterations: u32,
+    /// SRAM capacity override (MB).
+    pub sram_mb: Option<u64>,
+    /// Disable data sharing.
+    pub no_sharing: bool,
+    /// Disable power gating.
+    pub no_gating: bool,
+}
+
+/// `hyve compare` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareArgs {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Graph source.
+    pub source: SourceArgs,
+}
+
+/// `hyve sweep` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    /// Sweep axis: sram / cells / density.
+    pub what: String,
+    /// Graph source.
+    pub source: SourceArgs,
+}
+
+/// `hyve recommend` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecommendArgs {
+    /// Vertex count.
+    pub vertices: u64,
+    /// Edge count.
+    pub edges: u64,
+    /// Partition count (default: planned from 2 MB SRAM).
+    pub partitions: Option<u32>,
+    /// Average 8×8 block occupancy (default 1.5).
+    pub navg: f64,
+    /// Objective: latency / energy / edp.
+    pub objective: String,
+}
+
+/// `hyve gen` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenArgs {
+    /// Vertex count.
+    pub vertices: u32,
+    /// Edge count.
+    pub edges: usize,
+    /// Output path.
+    pub out: String,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// Splits `argv` into flag→value pairs (flags start with `--`; bare flags
+/// get the value "true").
+fn flags(argv: &[String]) -> Result<HashMap<String, String>, CliError> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < argv.len() {
+        let token = &argv[i];
+        let Some(name) = token.strip_prefix("--") else {
+            return Err(CliError::Usage(format!("unexpected argument '{token}'")));
+        };
+        let boolean = matches!(name, "no-sharing" | "no-gating" | "help");
+        if boolean {
+            map.insert(name.to_string(), "true".to_string());
+            i += 1;
+        } else {
+            let value = argv.get(i + 1).ok_or_else(|| {
+                CliError::Usage(format!("flag --{name} needs a value"))
+            })?;
+            map.insert(name.to_string(), value.clone());
+            i += 2;
+        }
+    }
+    Ok(map)
+}
+
+fn get_num<T: std::str::FromStr>(
+    map: &HashMap<String, String>,
+    key: &str,
+    default: Option<T>,
+) -> Result<T, CliError> {
+    match map.get(key) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--{key} got invalid value '{v}'"))),
+        None => default.ok_or_else(|| CliError::Usage(format!("--{key} is required"))),
+    }
+}
+
+fn get_source(map: &HashMap<String, String>) -> Result<SourceArgs, CliError> {
+    let source = match (map.get("dataset"), map.get("input")) {
+        (Some(d), None) => GraphSource::Dataset(d.to_lowercase()),
+        (None, Some(f)) => GraphSource::File(f.clone()),
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "--dataset and --input are mutually exclusive".into(),
+            ))
+        }
+        (None, None) => {
+            return Err(CliError::Usage(
+                "one of --dataset or --input is required".into(),
+            ))
+        }
+    };
+    Ok(SourceArgs {
+        source,
+        seed: get_num(map, "seed", Some(2018u64))?,
+    })
+}
+
+/// Parses `argv` (without the program name).
+///
+/// # Errors
+///
+/// [`CliError::Usage`] on unknown commands, missing flags or bad values.
+pub fn parse(argv: &[String]) -> Result<Command, CliError> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Ok(Command::Help);
+    };
+    if cmd == "help" || cmd == "--help" || cmd == "-h" {
+        return Ok(Command::Help);
+    }
+    let map = flags(rest)?;
+    if map.contains_key("help") {
+        return Ok(Command::Help);
+    }
+    match cmd.as_str() {
+        "run" => Ok(Command::Run(RunArgs {
+            algorithm: map
+                .get("alg")
+                .ok_or_else(|| CliError::Usage("--alg is required".into()))?
+                .to_lowercase(),
+            config: map
+                .get("config")
+                .map(|s| s.to_lowercase())
+                .unwrap_or_else(|| "hyve-opt".into()),
+            source: get_source(&map)?,
+            iterations: get_num(&map, "iters", Some(10u32))?,
+            sram_mb: map
+                .get("sram-mb")
+                .map(|v| {
+                    v.parse::<u64>().map_err(|_| {
+                        CliError::Usage(format!("--sram-mb got invalid value '{v}'"))
+                    })
+                })
+                .transpose()?,
+            no_sharing: map.contains_key("no-sharing"),
+            no_gating: map.contains_key("no-gating"),
+        })),
+        "compare" => Ok(Command::Compare(CompareArgs {
+            algorithm: map
+                .get("alg")
+                .ok_or_else(|| CliError::Usage("--alg is required".into()))?
+                .to_lowercase(),
+            source: get_source(&map)?,
+        })),
+        "sweep" => Ok(Command::Sweep(SweepArgs {
+            what: map
+                .get("what")
+                .ok_or_else(|| CliError::Usage("--what is required".into()))?
+                .to_lowercase(),
+            source: get_source(&map)?,
+        })),
+        "recommend" => Ok(Command::Recommend(RecommendArgs {
+            vertices: get_num(&map, "vertices", None)?,
+            edges: get_num(&map, "edges", None)?,
+            partitions: map
+                .get("partitions")
+                .map(|v| {
+                    v.parse::<u32>().map_err(|_| {
+                        CliError::Usage(format!("--partitions got invalid value '{v}'"))
+                    })
+                })
+                .transpose()?,
+            navg: get_num(&map, "navg", Some(1.5f64))?,
+            objective: map
+                .get("objective")
+                .map(|s| s.to_lowercase())
+                .unwrap_or_else(|| "energy".into()),
+        })),
+        "info" => Ok(Command::Info(get_source(&map)?)),
+        "gen" => Ok(Command::Gen(GenArgs {
+            vertices: get_num(&map, "vertices", None)?,
+            edges: get_num(&map, "edges", None)?,
+            out: map
+                .get("out")
+                .ok_or_else(|| CliError::Usage("--out is required".into()))?
+                .clone(),
+            seed: get_num(&map, "seed", Some(2018u64))?,
+        })),
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_run_with_defaults() {
+        let cmd = parse(&argv("run --alg pr --dataset yt")).unwrap();
+        match cmd {
+            Command::Run(r) => {
+                assert_eq!(r.algorithm, "pr");
+                assert_eq!(r.config, "hyve-opt");
+                assert_eq!(r.iterations, 10);
+                assert_eq!(r.source.seed, 2018);
+                assert_eq!(r.source.source, GraphSource::Dataset("yt".into()));
+                assert!(!r.no_sharing && !r.no_gating);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_run_with_overrides() {
+        let cmd = parse(&argv(
+            "run --alg bfs --config acc-dram --dataset as --iters 3 --seed 7 \
+             --sram-mb 8 --no-sharing --no-gating",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run(r) => {
+                assert_eq!(r.config, "acc-dram");
+                assert_eq!(r.iterations, 3);
+                assert_eq!(r.source.seed, 7);
+                assert_eq!(r.sram_mb, Some(8));
+                assert!(r.no_sharing && r.no_gating);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dataset_and_input_conflict() {
+        let err = parse(&argv("run --alg pr --dataset yt --input g.txt")).unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn missing_required_flag() {
+        assert!(parse(&argv("run --dataset yt")).is_err());
+        assert!(parse(&argv("recommend --vertices 10")).is_err());
+        assert!(parse(&argv("gen --vertices 10 --edges 20")).is_err());
+    }
+
+    #[test]
+    fn invalid_numbers_reported() {
+        let err = parse(&argv("run --alg pr --dataset yt --iters lots")).unwrap_err();
+        assert!(err.to_string().contains("--iters"));
+    }
+
+    #[test]
+    fn help_forms() {
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("run --help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        assert!(parse(&argv("frobnicate --x 1")).is_err());
+    }
+
+    #[test]
+    fn recommend_defaults() {
+        let cmd =
+            parse(&argv("recommend --vertices 1000 --edges 5000")).unwrap();
+        match cmd {
+            Command::Recommend(r) => {
+                assert_eq!(r.navg, 1.5);
+                assert_eq!(r.objective, "energy");
+                assert_eq!(r.partitions, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flag_without_value() {
+        let err = parse(&argv("run --alg")).unwrap_err();
+        assert!(err.to_string().contains("needs a value"));
+    }
+
+    #[test]
+    fn bare_positional_rejected() {
+        let err = parse(&argv("run pr")).unwrap_err();
+        assert!(err.to_string().contains("unexpected argument"));
+    }
+}

@@ -1,0 +1,18 @@
+//! `hyve` binary entry point — a thin shim over [`hyve_cli::run_cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match hyve_cli::run_cli(&argv, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            if matches!(e, hyve_cli::CliError::Usage(_)) {
+                eprintln!("\n{}", hyve_cli::USAGE);
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,939 @@
+//! The HyVE execution engine: a deterministic phase-level simulator of
+//! Algorithm 2 over the interval-block grid.
+//!
+//! The engine does two jobs at once:
+//!
+//! 1. **Functional execution** — runs the [`EdgeProgram`] over the grid in
+//!    Algorithm 2's block order (super blocks scanned vertically, round-robin
+//!    steps inside each), producing real vertex values validated against the
+//!    sequential references.
+//! 2. **Cost accounting** — every iteration makes exactly the same memory
+//!    accesses regardless of values (the edge-centric model streams *all*
+//!    edges every iteration, §7.1), so per-iteration energy/time is computed
+//!    from the grid's static structure using the device models, then scaled
+//!    by the iteration count the functional run produced. Per-edge time uses
+//!    Eq. (1)'s pipelining: the bottleneck stage among edge supply, local
+//!    vertex access and the processing unit sets the period.
+//!
+//! ## Scheduling (paper Algorithm 2 / Fig. 7)
+//!
+//! With `P` intervals and `N` PUs, the grid decomposes into `(P/N)²` *super
+//! blocks* of `N×N` blocks. Destination intervals load once per super-block
+//! column; source intervals load once per super block when data sharing is
+//! on (each PU then reads other PUs' source memories through the router,
+//! round-robin across `N` steps) and once per *step* when it is off.
+
+use crate::config::{EdgeMemoryKind, SystemConfig, VertexMemoryKind};
+use crate::error::CoreError;
+use crate::pu::ProcessingUnit;
+use crate::router::Router;
+use crate::stats::{EnergyBreakdown, PhaseTimes, RunReport};
+use hyve_algorithms::{EdgeProgram, ExecutionMode, GraphMeta, IterationBound};
+use hyve_graph::{EdgeList, GridGraph, VertexId};
+use hyve_memsim::{
+    BankPowerGating, DramChip, Energy, MemoryDevice, Power, PowerGatingConfig, ReramChip,
+    SramArray, Time,
+};
+
+/// Number of memory chips provisioned on the edge-memory channel. The
+/// subsystem is sized for large graphs, so its background power does not
+/// shrink with the (scaled) dataset — this is what bank-level power gating
+/// recovers (§4.1, Fig. 15).
+const EDGE_CHANNEL_CHIPS: u32 = 8;
+
+/// Chips on the off-chip vertex channel (vertex data is 10–100× smaller
+/// than edges, §3).
+const VERTEX_CHANNEL_CHIPS: u32 = 2;
+
+/// Banks that can overlap random accesses on a channel.
+const BANK_PARALLELISM: f64 = 16.0;
+
+/// Requests the memory controller keeps in flight on a sequential stream,
+/// hiding per-access latency behind the data transfer.
+const OUTSTANDING_REQUESTS: f64 = 16.0;
+
+/// Static power of the hybrid memory controller and miscellaneous logic.
+const CONTROLLER_POWER: Power = Power::from_mw(40.0);
+
+/// Either main-memory technology, behind one object.
+enum Channel {
+    Reram(ReramChip),
+    Dram(DramChip),
+}
+
+impl Channel {
+    fn device(&self) -> &dyn MemoryDevice {
+        match self {
+            Channel::Reram(c) => c,
+            Channel::Dram(c) => c,
+        }
+    }
+}
+
+/// Cost of the one-shot preprocessing step: writing the partitioned edge
+/// data into the edge memory and the initial vertex values into the global
+/// vertex memory (§3.1: "during the algorithm initialization, the edge data
+/// go through a one-shot preprocessing step and are written into the
+/// memory"). Excluded from steady-state run reports, matching the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreprocessingReport {
+    /// Edge data written (bits), including block headers.
+    pub edge_bits: u64,
+    /// Initial vertex data written (bits).
+    pub vertex_bits: u64,
+    /// Total write energy.
+    pub energy: hyve_memsim::Energy,
+    /// Total write time (sequential stream).
+    pub time: Time,
+}
+
+/// The HyVE simulator.
+///
+/// See the [crate-level docs](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    config: SystemConfig,
+    pu: ProcessingUnit,
+}
+
+impl Engine {
+    /// Creates an engine for a configuration.
+    pub fn new(config: SystemConfig) -> Self {
+        Engine {
+            config,
+            pu: ProcessingUnit::new(),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Picks the interval count `P` for a graph: the smallest multiple of
+    /// the PU count such that `2·N` intervals (N source + N destination
+    /// sections) fit in on-chip memory. Configurations without on-chip
+    /// vertex memory use `P = N` (scheduling granularity only).
+    pub fn plan_intervals<P: EdgeProgram>(&self, program: &P, num_vertices: u32) -> u32 {
+        let n = self.config.num_pus;
+        let Some(sram_mb) = self.config.sram_mb else {
+            return n.min(num_vertices.max(1));
+        };
+        let state_words = match program.mode() {
+            // Accumulate programs keep value + accumulator resident.
+            ExecutionMode::Accumulate => 2u64,
+            ExecutionMode::Monotone => 1u64,
+        };
+        let bytes_per_vertex =
+            (u64::from(program.value_bits()).div_ceil(8)).max(1) * state_words;
+        // Effective capacity: the physical SRAM shrunk by the dataset scale,
+        // so the vertex-data : SRAM ratio matches the full-size experiment.
+        let sram_bytes =
+            (sram_mb * 1024 * 1024 / u64::from(self.config.dataset_scale)).max(1);
+        let needed = 2 * u64::from(n) * u64::from(num_vertices) * bytes_per_vertex;
+        let min_p = needed.div_ceil(sram_bytes).max(1) as u32;
+        // Round up to a multiple of N, cap at the vertex count.
+        let p = min_p.div_ceil(n) * n;
+        p.min(num_vertices.max(1)).max(1)
+    }
+
+    /// Partitions the edge list with the planned interval count and runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation and partitioning errors.
+    pub fn run_on_edge_list<P: EdgeProgram>(
+        &self,
+        program: &P,
+        graph: &EdgeList,
+    ) -> Result<RunReport, CoreError> {
+        self.run_on_edge_list_with_values(program, graph)
+            .map(|(report, _)| report)
+    }
+
+    /// Like [`run_on_edge_list`](Self::run_on_edge_list), also returning the
+    /// final vertex values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation and partitioning errors.
+    pub fn run_on_edge_list_with_values<P: EdgeProgram>(
+        &self,
+        program: &P,
+        graph: &EdgeList,
+    ) -> Result<(RunReport, Vec<P::Value>), CoreError> {
+        let p = self.plan_intervals(program, graph.num_vertices());
+        let grid = GridGraph::partition(graph, p)?;
+        self.run_with_values(program, &grid)
+    }
+
+    /// Runs over an existing grid. The grid's interval count must be a
+    /// multiple of the PU count.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unschedulable`] when `P mod N ≠ 0`; configuration errors
+    /// otherwise.
+    pub fn run<P: EdgeProgram>(
+        &self,
+        program: &P,
+        grid: &GridGraph,
+    ) -> Result<RunReport, CoreError> {
+        self.run_with_values(program, grid).map(|(r, _)| r)
+    }
+
+    /// Like [`run`](Self::run), also returning final vertex values.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_with_values<P: EdgeProgram>(
+        &self,
+        program: &P,
+        grid: &GridGraph,
+    ) -> Result<(RunReport, Vec<P::Value>), CoreError> {
+        self.config.validate()?;
+        let n = self.config.num_pus;
+        let p = grid.num_intervals();
+        if p % n != 0 && p >= n {
+            return Err(CoreError::Unschedulable {
+                message: format!("{p} intervals not divisible by {n} processing units"),
+            });
+        }
+        if p < n {
+            return Err(CoreError::Unschedulable {
+                message: format!("{p} intervals < {n} processing units"),
+            });
+        }
+
+        // ---- functional pass -------------------------------------------
+        let (values, iterations, changed_per_iter) = self.functional_run(program, grid);
+
+        // ---- cost pass --------------------------------------------------
+        let report =
+            self.account(program, grid, iterations, &changed_per_iter)?;
+        Ok((report, values))
+    }
+
+    /// Cost of the one-shot initialization write (§3.1). ReRAM's limited
+    /// write bandwidth makes this slower than on DRAM, but it happens once:
+    /// steady-state execution never writes the edge memory again.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn preprocessing_report<P: EdgeProgram>(
+        &self,
+        program: &P,
+        grid: &GridGraph,
+    ) -> Result<PreprocessingReport, CoreError> {
+        self.config.validate()?;
+        let edge_mem: Box<dyn MemoryDevice> = match self.config.edge_memory {
+            EdgeMemoryKind::Reram => Box::new(
+                ReramChip::try_new(self.config.reram_config())
+                    .map_err(|m| CoreError::InvalidConfig { message: m })?,
+            ),
+            EdgeMemoryKind::Dram => Box::new(
+                DramChip::try_new(self.config.dram_config())
+                    .map_err(|m| CoreError::InvalidConfig { message: m })?,
+            ),
+        };
+        let vertex_mem: Box<dyn MemoryDevice> = match self.config.offchip_vertex {
+            VertexMemoryKind::Dram => Box::new(
+                DramChip::try_new(self.config.dram_config())
+                    .map_err(|m| CoreError::InvalidConfig { message: m })?,
+            ),
+            VertexMemoryKind::Reram => Box::new(
+                ReramChip::try_new(self.config.reram_config())
+                    .map_err(|m| CoreError::InvalidConfig { message: m })?,
+            ),
+        };
+        let edge_bits = grid.edge_storage_bits();
+        let vertex_bits = grid.vertex_storage_bits(u64::from(program.value_bits()));
+        let edge_accesses = edge_bits.div_ceil(u64::from(edge_mem.output_bits())).max(1);
+        let vertex_accesses = vertex_bits
+            .div_ceil(u64::from(vertex_mem.output_bits()))
+            .max(1);
+        let energy = edge_mem.write_energy(edge_bits) + vertex_mem.write_energy(vertex_bits);
+        let time = edge_mem.write_latency() * edge_accesses as f64
+            + vertex_mem.write_latency() * vertex_accesses as f64;
+        Ok(PreprocessingReport {
+            edge_bits,
+            vertex_bits,
+            energy,
+            time,
+        })
+    }
+
+    /// Executes the program over the grid in Algorithm 2's block order.
+    fn functional_run<P: EdgeProgram>(
+        &self,
+        program: &P,
+        grid: &GridGraph,
+    ) -> (Vec<P::Value>, u32, Vec<bool>) {
+        let meta = GraphMeta {
+            num_vertices: grid.num_vertices(),
+            num_edges: grid.num_edges(),
+            out_degrees: {
+                let mut deg = vec![0u32; grid.num_vertices() as usize];
+                for e in grid.iter_edges() {
+                    deg[e.src.index()] += 1;
+                }
+                deg
+            },
+        };
+        let nv = meta.num_vertices as usize;
+        let mut values: Vec<P::Value> = (0..meta.num_vertices)
+            .map(|v| program.init(VertexId::new(v), &meta))
+            .collect();
+        let bound = program.bound();
+        let n = self.config.num_pus;
+        let p = grid.num_intervals();
+        let mut iterations = 0;
+        let mut changed_flags = Vec::new();
+
+        for _ in 0..bound.max_iterations() {
+            iterations += 1;
+            let mut changed = false;
+            let mut acc: Option<Vec<P::Value>> = match program.mode() {
+                ExecutionMode::Accumulate => Some(vec![program.identity(); nv]),
+                ExecutionMode::Monotone => None,
+            };
+            // Algorithm 2's exact order, via the schedule abstraction.
+            let schedule = crate::schedule::SuperBlockSchedule::new(p, n)
+                .expect("validated in run_with_values");
+            for (_, assignments) in schedule.iter() {
+                {
+                    for a in assignments {
+                        {
+                            let block = grid.block_at(a.src_interval, a.dst_interval);
+                            for e in block.edges() {
+                                match &mut acc {
+                                    Some(acc) => {
+                                        let msg =
+                                            program.scatter(values[e.src.index()], e, &meta);
+                                        acc[e.dst.index()] =
+                                            program.merge(acc[e.dst.index()], msg);
+                                        if program.undirected() {
+                                            let msg = program.scatter(
+                                                values[e.dst.index()],
+                                                &e.reversed(),
+                                                &meta,
+                                            );
+                                            acc[e.src.index()] =
+                                                program.merge(acc[e.src.index()], msg);
+                                        }
+                                    }
+                                    None => {
+                                        let msg =
+                                            program.scatter(values[e.src.index()], e, &meta);
+                                        let merged =
+                                            program.merge(values[e.dst.index()], msg);
+                                        if merged != values[e.dst.index()] {
+                                            values[e.dst.index()] = merged;
+                                            changed = true;
+                                        }
+                                        if program.undirected() {
+                                            let msg = program.scatter(
+                                                values[e.dst.index()],
+                                                &e.reversed(),
+                                                &meta,
+                                            );
+                                            let merged =
+                                                program.merge(values[e.src.index()], msg);
+                                            if merged != values[e.src.index()] {
+                                                values[e.src.index()] = merged;
+                                                changed = true;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(acc) = acc {
+                for v in 0..nv {
+                    let new =
+                        program.apply(VertexId::new(v as u32), acc[v], values[v], &meta);
+                    if new != values[v] {
+                        changed = true;
+                    }
+                    values[v] = new;
+                }
+            }
+            changed_flags.push(changed);
+            if matches!(bound, IterationBound::Converge { .. }) && !changed {
+                break;
+            }
+        }
+        (values, iterations, changed_flags)
+    }
+
+    /// Computes the full energy/time report for `iterations` identical
+    /// passes over the grid.
+    fn account<P: EdgeProgram>(
+        &self,
+        program: &P,
+        grid: &GridGraph,
+        iterations: u32,
+        _changed: &[bool],
+    ) -> Result<RunReport, CoreError> {
+        let cfg = &self.config;
+        let n = cfg.num_pus;
+        let p = grid.num_intervals();
+        let s = p / n;
+        let nv = u64::from(grid.num_vertices());
+        let ne = grid.num_edges();
+        let traversal_factor = if program.undirected() { 2 } else { 1 };
+        let value_bits = u64::from(program.value_bits());
+
+        // ---- devices ----------------------------------------------------
+        let edge_mem = match cfg.edge_memory {
+            EdgeMemoryKind::Reram => {
+                Channel::Reram(ReramChip::try_new(cfg.reram_config()).map_err(|m| {
+                    CoreError::InvalidConfig { message: m }
+                })?)
+            }
+            EdgeMemoryKind::Dram => {
+                Channel::Dram(DramChip::try_new(cfg.dram_config()).map_err(|m| {
+                    CoreError::InvalidConfig { message: m }
+                })?)
+            }
+        };
+        let vertex_mem = match cfg.offchip_vertex {
+            VertexMemoryKind::Dram => {
+                Channel::Dram(DramChip::try_new(cfg.dram_config()).map_err(|m| {
+                    CoreError::InvalidConfig { message: m }
+                })?)
+            }
+            VertexMemoryKind::Reram => {
+                Channel::Reram(ReramChip::try_new(cfg.reram_config()).map_err(|m| {
+                    CoreError::InvalidConfig { message: m }
+                })?)
+            }
+        };
+        let sram = match cfg.sram_config() {
+            Some(sc) => Some(SramArray::try_new(sc).map_err(|m| CoreError::InvalidConfig {
+                message: m,
+            })?),
+            None => None,
+        };
+        let router = cfg.data_sharing.then(|| Router::new(n));
+
+        let mut breakdown = EnergyBreakdown::default();
+        let mut phases = PhaseTimes::default();
+
+        // ---- per-iteration edge stream ----------------------------------
+        let edge_bits = grid.edge_storage_bits();
+        let edev = edge_mem.device();
+        let edge_accesses = edge_bits.div_ceil(u64::from(edev.output_bits())).max(1);
+        let edge_read_energy = edev.read_energy(edge_bits);
+        let edge_stream_time = edev.sequential_read_time(edge_bits);
+
+        // ---- per-iteration vertex interval traffic -----------------------
+        // With data sharing (Algorithm 2 + router): destination intervals
+        // load once and write back once per iteration (Eq. 7); source
+        // intervals load once per super block (Eq. 8 ⇒ Nv·P/N vertices).
+        //
+        // Without sharing (Fig. 14's baseline): a processing unit cannot
+        // read another PU's source memory, so every step reloads its source
+        // interval from off-chip — Nv·P source vertices per iteration
+        // instead of Nv·P/N. Destination intervals stay resident either way.
+        let (dst_load_vertices, dst_store_vertices, src_load_vertices) =
+            if cfg.data_sharing {
+                (nv, nv, nv * u64::from(s))
+            } else {
+                (nv, nv, nv * u64::from(p))
+            };
+        let dst_load_bits = dst_load_vertices * value_bits;
+        let src_load_bits = src_load_vertices * value_bits;
+        let vdev = vertex_mem.device();
+        let interval_loads = if cfg.data_sharing {
+            u64::from(p) + u64::from(s * s) * u64::from(n)
+        } else {
+            u64::from(p) + u64::from(s * s) * u64::from(n) * u64::from(n)
+        };
+
+        // ---- accounting helpers ------------------------------------------
+        let words_per_value = value_bits.div_ceil(32).max(1);
+
+        let (loading_time, updating_time, processing_time, overhead_time);
+
+        if let Some(sram) = &sram {
+            // Off-chip loads stream sequentially; on-chip fills proceed in
+            // parallel across PU memories, so the channel is the bottleneck.
+            let load_bits = dst_load_bits + src_load_bits;
+            // Chips on the vertex channel stream in parallel (ganged like a
+            // DIMM rank), multiplying sequential bandwidth. Interval-load
+            // request latencies pipeline behind the stream: the controller
+            // keeps many requests outstanding, so latency only shows when it
+            // exceeds the streaming time.
+            let stream = vdev
+                .sequential_read_time(load_bits / u64::from(VERTEX_CHANNEL_CHIPS));
+            let latency =
+                vdev.read_latency() * (interval_loads as f64 / OUTSTANDING_REQUESTS);
+            let lt_channel = stream.max(latency);
+            let lt_sram = sram.bulk_transfer_time(load_bits) / f64::from(n);
+            loading_time = lt_channel.max(lt_sram);
+            breakdown.offchip_vertex.record_read(
+                load_bits,
+                vdev.read_energy(load_bits),
+                lt_channel,
+            );
+            breakdown.onchip_vertex.record_write(
+                load_bits,
+                sram.bulk_write_energy(load_bits),
+                Time::ZERO,
+            );
+
+            // Write-back of destination intervals (Eq. 7: Nv per iteration
+            // with sharing; Nv·S without).
+            let store_bits = dst_store_vertices * value_bits;
+            // Write-back streams at the device's sequential-write rate:
+            // burst-pipelined on DRAM, program-pulse-limited on ReRAM — the
+            // §3.2 reason HyVE keeps vertices in DRAM.
+            let ut_channel = vdev.write_latency() * f64::from(p)
+                + vdev.sequential_write_period()
+                    * (store_bits
+                        .div_ceil(u64::from(vdev.output_bits() * VERTEX_CHANNEL_CHIPS)))
+                        as f64;
+            updating_time = ut_channel;
+            breakdown
+                .offchip_vertex
+                .record_write(store_bits, vdev.write_energy(store_bits), ut_channel);
+            breakdown.onchip_vertex.record_read(
+                store_bits,
+                sram.bulk_read_energy(store_bits),
+                Time::ZERO,
+            );
+
+            // Per-edge processing (Eq. 1 pipelining): stage period is the
+            // max of edge supply, source read, destination read+write, PU.
+            let edges_per_access =
+                (u64::from(edev.output_bits()) / hyve_graph::Edge::BITS).max(1);
+            let edge_supply =
+                edev.burst_period() * (f64::from(n) / edges_per_access as f64);
+            let src_stage = sram.word_read_latency() * words_per_value as f64;
+            let dst_stage = (sram.word_read_latency() + sram.word_write_latency())
+                * words_per_value as f64;
+            let pu_stage = self.pu.pipelined_period();
+            let per_edge = edge_supply
+                .max(src_stage)
+                .max(dst_stage)
+                .max(pu_stage)
+                * traversal_factor as f64;
+
+            // Steps synchronise: each step costs the *largest* block in it.
+            let schedule = crate::schedule::SuperBlockSchedule::new(p, n)
+                .expect("validated above");
+            let mut proc = Time::ZERO;
+            for (_, assignments) in schedule.iter() {
+                let max_edges = assignments
+                    .iter()
+                    .map(|a| grid.block_at(a.src_interval, a.dst_interval).len())
+                    .max()
+                    .unwrap_or(0);
+                proc += per_edge * max_edges as f64;
+            }
+            processing_time = proc;
+
+            // Per-edge on-chip + PU energy.
+            let traversals = ne * traversal_factor;
+            let sram_read = sram.read_energy(32) * words_per_value as f64;
+            let sram_write = sram.write_energy(32) * words_per_value as f64;
+            let per_edge_onchip = sram_read * 2.0 + sram_write;
+            breakdown.onchip_vertex.record_read(
+                traversals * value_bits * 2,
+                per_edge_onchip * traversals as f64,
+                Time::ZERO,
+            );
+            breakdown.logic.record_read(
+                0,
+                self.pu.edge_energy(program.arithmetic()) * traversals as f64,
+                Time::ZERO,
+            );
+
+            // Accumulate programs run an apply pass over resident vertices:
+            // read accumulator + previous value, write result, one ALU op.
+            if program.mode() == ExecutionMode::Accumulate {
+                let apply_ops = nv;
+                breakdown.onchip_vertex.record_read(
+                    apply_ops * value_bits * 2,
+                    (sram_read * 2.0 + sram_write) * apply_ops as f64,
+                    Time::ZERO,
+                );
+                breakdown.logic.record_read(
+                    0,
+                    self.pu.edge_energy(true) * apply_ops as f64,
+                    Time::ZERO,
+                );
+            }
+
+            // Router: reroute per step; hop energy on every shared source read.
+            if let Some(router) = &router {
+                let steps = u64::from(s * s) * u64::from(n);
+                let hop = router.hop_energy_per_word()
+                    * (traversals * words_per_value) as f64
+                    + router.reroute_energy() * steps as f64;
+                breakdown.logic.record_read(0, hop, Time::ZERO);
+                overhead_time = router.reroute_latency() * steps as f64;
+            } else {
+                overhead_time = Time::ZERO;
+            }
+        } else {
+            // No on-chip vertex memory: every vertex touch is a random
+            // access straight at the off-chip device.
+            loading_time = Time::ZERO;
+            updating_time = Time::ZERO;
+            overhead_time = Time::ZERO;
+            let traversals = ne * traversal_factor;
+            let rd = vdev.random_read_energy(value_bits);
+            let wr = vdev.random_write_energy(value_bits);
+            breakdown.offchip_vertex.record_read(
+                traversals * value_bits * 2,
+                rd * 2.0 * traversals as f64,
+                Time::ZERO,
+            );
+            breakdown.offchip_vertex.record_write(
+                traversals * value_bits,
+                wr * traversals as f64,
+                Time::ZERO,
+            );
+            breakdown.logic.record_read(
+                0,
+                self.pu.edge_energy(program.arithmetic()) * traversals as f64,
+                Time::ZERO,
+            );
+
+            // Three random vertex accesses per edge, partially hidden by
+            // bank-level parallelism on the shared vertex channel.
+            let per_edge_latency = (vdev.read_latency() * 2.0 + vdev.write_latency())
+                / BANK_PARALLELISM;
+            let per_edge = per_edge_latency.max(self.pu.pipelined_period())
+                * traversal_factor as f64;
+            processing_time = per_edge * ne as f64;
+        }
+
+        // Edge-memory dynamic accounting (same for both paths).
+        breakdown
+            .edge_memory
+            .record_read(edge_bits, edge_read_energy, edge_stream_time);
+        let _ = edge_accesses;
+
+        // ---- iteration time & scaling ------------------------------------
+        // Loading is double-buffered against processing: the controller
+        // prefetches the next intervals while PUs process the current ones,
+        // so only the non-overlapped remainder extends the iteration.
+        let busy = processing_time.max(edge_stream_time);
+        let exposed_loading = (loading_time - busy).max(Time::ZERO);
+        let iteration_time = exposed_loading + busy + updating_time + overhead_time;
+        let iters = f64::from(iterations);
+        phases.loading = exposed_loading * iters;
+        phases.processing = busy * iters;
+        phases.updating = updating_time * iters;
+        phases.overhead = overhead_time * iters;
+
+        // Scale dynamic energies by iteration count.
+        for stats in [
+            &mut breakdown.edge_memory,
+            &mut breakdown.offchip_vertex,
+            &mut breakdown.onchip_vertex,
+            &mut breakdown.logic,
+        ] {
+            stats.reads = (stats.reads as f64 * iters) as u64;
+            stats.writes = (stats.writes as f64 * iters) as u64;
+            stats.bits_read = (stats.bits_read as f64 * iters) as u64;
+            stats.bits_written = (stats.bits_written as f64 * iters) as u64;
+            stats.dynamic_energy = stats.dynamic_energy * iters;
+            stats.busy_time = stats.busy_time * iters;
+        }
+
+        let total_time = iteration_time * iters;
+
+        // ---- background energy -------------------------------------------
+        // Edge channel: provisioned chips leak unless power gating is on.
+        let edge_bg = match (&edge_mem, cfg.power_gating) {
+            (Channel::Reram(chip), true) => {
+                let gating = BankPowerGating::new(
+                    PowerGatingConfig::default(),
+                    chip.banks() * EDGE_CHANNEL_CHIPS,
+                    chip.bank_leakage(),
+                );
+                // Sequential layout (§3.4): a scan wakes banks in address
+                // order, one transition per bank the edge data spans.
+                let map = crate::controller::AddressMap::new(
+                    EDGE_CHANNEL_CHIPS,
+                    chip.banks(),
+                    chip.capacity_bits() / u64::from(chip.banks()) / 8,
+                );
+                let transitions_per_iter = map.banks_spanned(edge_bits.div_ceil(8));
+                gating.gated_energy(total_time, transitions_per_iter * u64::from(iterations), 1.0)
+            }
+            (channel, _) => {
+                channel.device().background_power()
+                    * f64::from(EDGE_CHANNEL_CHIPS)
+                    * total_time
+            }
+        };
+        breakdown.edge_memory.record_background(edge_bg);
+
+        // Vertex channel always powered (random/bursty traffic, §4.1).
+        breakdown.offchip_vertex.record_background(
+            vertex_mem.device().background_power()
+                * f64::from(VERTEX_CHANNEL_CHIPS)
+                * total_time,
+        );
+        if let Some(sram) = &sram {
+            breakdown
+                .onchip_vertex
+                .record_background(sram.background_power() * total_time);
+        }
+        let logic_power = self.pu.leakage() * f64::from(n)
+            + router.as_ref().map_or(Power::ZERO, Router::leakage)
+            + CONTROLLER_POWER;
+        breakdown.logic.record_background(logic_power * total_time);
+
+        Ok(RunReport {
+            algorithm: program.name(),
+            config: cfg.name,
+            iterations,
+            edges_processed: ne * traversal_factor * u64::from(iterations),
+            intervals: p,
+            phases,
+            breakdown,
+        })
+    }
+}
+
+/// Sanity check: background energies must be non-negative.
+fn _assert_energy_valid(e: Energy) {
+    debug_assert!(e.is_valid());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyve_algorithms::{
+        reference, Bfs, ConnectedComponents, PageRank, SpMv, Sssp,
+    };
+    use hyve_graph::{Csr, DatasetProfile, Edge};
+
+    fn small_graph() -> EdgeList {
+        DatasetProfile::youtube_scaled().generate(11)
+    }
+
+    #[test]
+    fn pagerank_matches_reference() {
+        let g = small_graph();
+        let engine = Engine::new(SystemConfig::hyve_opt());
+        let (_, values) = engine
+            .run_on_edge_list_with_values(&PageRank::new(5), &g)
+            .unwrap();
+        let csr = Csr::from_edge_list(&g);
+        let expect = reference::pagerank(&csr, 5, 0.85);
+        for (a, b) in values.iter().zip(expect.iter()) {
+            assert!((a - b).abs() <= 1e-5 * b.abs().max(1e-6), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn bfs_matches_reference() {
+        let g = small_graph();
+        let engine = Engine::new(SystemConfig::hyve());
+        let src = VertexId::new(0);
+        let (_, values) = engine
+            .run_on_edge_list_with_values(&Bfs::new(src), &g)
+            .unwrap();
+        let csr = Csr::from_edge_list(&g);
+        assert_eq!(values, reference::bfs_levels(&csr, src));
+    }
+
+    #[test]
+    fn cc_matches_reference() {
+        let g = small_graph();
+        let engine = Engine::new(SystemConfig::hyve_opt());
+        let (_, values) = engine
+            .run_on_edge_list_with_values(&ConnectedComponents::new(), &g)
+            .unwrap();
+        assert_eq!(values, reference::connected_components(&g));
+    }
+
+    #[test]
+    fn sssp_matches_reference() {
+        let g = small_graph();
+        let engine = Engine::new(SystemConfig::hyve_opt());
+        let src = VertexId::new(1);
+        let (_, values) = engine
+            .run_on_edge_list_with_values(&Sssp::new(src), &g)
+            .unwrap();
+        let csr = Csr::from_edge_list(&g);
+        let expect = reference::sssp_distances(&csr, src);
+        for (a, b) in values.iter().zip(expect.iter()) {
+            if b.is_infinite() {
+                assert!(a.is_infinite());
+            } else {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_matches_reference() {
+        let g = small_graph();
+        let engine = Engine::new(SystemConfig::acc_sram_dram());
+        let spmv = SpMv::new();
+        let (_, values) = engine
+            .run_on_edge_list_with_values(&spmv, &g)
+            .unwrap();
+        let x: Vec<f32> = (0..g.num_vertices())
+            .map(|v| spmv.input(VertexId::new(v)))
+            .collect();
+        let expect = reference::spmv(&g, &x);
+        for (a, b) in values.iter().zip(expect.iter()) {
+            assert!((a - b).abs() <= 1e-3 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn all_configs_run_pagerank() {
+        let g = small_graph();
+        for cfg in [
+            SystemConfig::acc_dram(),
+            SystemConfig::acc_reram(),
+            SystemConfig::acc_sram_dram(),
+            SystemConfig::hyve(),
+            SystemConfig::hyve_opt(),
+        ] {
+            let engine = Engine::new(cfg);
+            let report = engine.run_on_edge_list(&PageRank::new(3), &g).unwrap();
+            assert!(report.energy().as_pj() > 0.0, "{}", report.config);
+            assert!(report.elapsed().as_ns() > 0.0);
+            assert!(report.mteps_per_watt() > 0.0);
+        }
+    }
+
+    #[test]
+    fn hyve_beats_conventional_hierarchies_on_energy_efficiency() {
+        // The headline Fig. 16 ordering.
+        let g = small_graph();
+        let eff = |cfg: SystemConfig| {
+            Engine::new(cfg)
+                .run_on_edge_list(&PageRank::new(5), &g)
+                .unwrap()
+                .mteps_per_watt()
+        };
+        let dram = eff(SystemConfig::acc_dram());
+        let sd = eff(SystemConfig::acc_sram_dram());
+        let hyve = eff(SystemConfig::hyve());
+        let opt = eff(SystemConfig::hyve_opt());
+        assert!(hyve > sd, "HyVE {hyve} must beat SD {sd}");
+        assert!(sd > dram, "SD {sd} must beat acc+DRAM {dram}");
+        assert!(opt > hyve, "optimizations must help: {opt} vs {hyve}");
+    }
+
+    #[test]
+    fn data_sharing_reduces_offchip_reads() {
+        let g = small_graph();
+        let base = Engine::new(SystemConfig::hyve().with_data_sharing(false))
+            .run_on_edge_list(&PageRank::new(3), &g)
+            .unwrap();
+        let shared = Engine::new(SystemConfig::hyve())
+            .run_on_edge_list(&PageRank::new(3), &g)
+            .unwrap();
+        assert!(
+            shared.breakdown.offchip_vertex.bits_read
+                < base.breakdown.offchip_vertex.bits_read
+        );
+    }
+
+    #[test]
+    fn power_gating_cuts_edge_background() {
+        let g = small_graph();
+        let base = Engine::new(SystemConfig::hyve())
+            .run_on_edge_list(&PageRank::new(3), &g)
+            .unwrap();
+        let gated = Engine::new(SystemConfig::hyve().with_power_gating(true))
+            .run_on_edge_list(&PageRank::new(3), &g)
+            .unwrap();
+        assert!(
+            gated.breakdown.edge_memory.background_energy
+                < base.breakdown.edge_memory.background_energy * 0.5
+        );
+    }
+
+    #[test]
+    fn interval_planning_respects_sram() {
+        // Use scale 1 so the arithmetic is direct: 2 MB SRAM, PR needs
+        // 16 bytes/vertex resident (64-bit value × 2 states);
+        // 2·8·nv·16 ≤ 2 MB ⇒ nv ≤ 8192 for P = 8.
+        let engine = Engine::new(SystemConfig::hyve_opt().with_dataset_scale(1));
+        let pr = PageRank::new(1);
+        assert_eq!(engine.plan_intervals(&pr, 8_000), 8);
+        let p = engine.plan_intervals(&pr, 100_000);
+        assert!(p > 8 && p % 8 == 0, "got {p}");
+        // The dataset scale shrinks the effective SRAM, raising P.
+        let scaled = Engine::new(SystemConfig::hyve_opt().with_dataset_scale(64));
+        assert!(scaled.plan_intervals(&pr, 8_000) > 8);
+        // No SRAM: P = N.
+        let raw = Engine::new(SystemConfig::acc_dram());
+        assert_eq!(raw.plan_intervals(&pr, 100_000), 8);
+    }
+
+    #[test]
+    fn run_rejects_mismatched_grid() {
+        let g = small_graph();
+        let grid = GridGraph::partition(&g, 3).unwrap(); // not divisible by 8
+        let engine = Engine::new(SystemConfig::hyve());
+        assert!(matches!(
+            engine.run(&PageRank::new(1), &grid),
+            Err(CoreError::Unschedulable { .. })
+        ));
+    }
+
+    #[test]
+    fn undirected_program_doubles_traversals() {
+        let g = EdgeList::from_edges(16, (0..15).map(|i| Edge::new(i, i + 1))).unwrap();
+        let engine = Engine::new(SystemConfig::hyve().with_num_pus(2));
+        let cc = engine
+            .run_on_edge_list(&ConnectedComponents::new().with_max_iterations(1), &g)
+            .unwrap();
+        assert_eq!(cc.edges_processed, 2 * 15);
+    }
+
+    #[test]
+    fn preprocessing_is_one_shot_and_write_dominated() {
+        let g = small_graph();
+        let engine = Engine::new(SystemConfig::hyve());
+        let grid = GridGraph::partition(&g, 8).unwrap();
+        let pre = engine
+            .preprocessing_report(&PageRank::new(10), &grid)
+            .unwrap();
+        assert_eq!(pre.edge_bits, grid.edge_storage_bits());
+        assert!(pre.energy.as_pj() > 0.0);
+        assert!(pre.time.as_ns() > 0.0);
+        // ReRAM's slow writes: preprocessing on HyVE takes longer than on
+        // the all-DRAM hierarchy, but costs less energy per bit is not
+        // required — only the latency asymmetry is structural.
+        let dram_pre = Engine::new(SystemConfig::acc_dram())
+            .preprocessing_report(&PageRank::new(10), &grid)
+            .unwrap();
+        assert!(pre.time > dram_pre.time, "{} vs {}", pre.time, dram_pre.time);
+    }
+
+    #[test]
+    fn report_has_consistent_breakdown() {
+        let g = small_graph();
+        let report = Engine::new(SystemConfig::hyve_opt())
+            .run_on_edge_list(&PageRank::new(2), &g)
+            .unwrap();
+        let b = &report.breakdown;
+        let sum = b.edge_memory.total_energy()
+            + b.offchip_vertex.total_energy()
+            + b.onchip_vertex.total_energy()
+            + b.logic.total_energy();
+        assert!((sum.as_pj() - report.energy().as_pj()).abs() < 1.0);
+        assert!(b.memory_fraction() > 0.3 && b.memory_fraction() < 1.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by engine configuration and runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The system configuration is inconsistent.
+    InvalidConfig {
+        /// Explanation.
+        message: String,
+    },
+    /// The graph cannot be scheduled on this configuration (e.g. too many
+    /// processing units for the vertex count).
+    Unschedulable {
+        /// Explanation.
+        message: String,
+    },
+    /// A graph-layer error surfaced during partitioning.
+    Graph(hyve_graph::GraphError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { message } => {
+                write!(f, "invalid configuration: {message}")
+            }
+            CoreError::Unschedulable { message } => {
+                write!(f, "graph not schedulable: {message}")
+            }
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hyve_graph::GraphError> for CoreError {
+    fn from(e: hyve_graph::GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::InvalidConfig {
+            message: "zero PUs".into(),
+        };
+        assert!(e.to_string().contains("zero PUs"));
+        let g = CoreError::from(hyve_graph::GraphError::EmptyGraph);
+        assert!(g.to_string().contains("no vertices"));
+        assert!(Error::source(&g).is_some());
+    }
+}

@@ -1,0 +1,52 @@
+//! # hyve-core — the HyVE architecture simulator
+//!
+//! This crate implements the paper's contribution: the **Hybrid Vertex-Edge
+//! memory hierarchy** (§3) and its execution engine:
+//!
+//! * [`SystemConfig`] — the memory-hierarchy configuration space the
+//!   evaluation sweeps (acc+DRAM, acc+ReRAM, acc+SRAM+DRAM, HyVE,
+//!   HyVE-opt; Fig. 16),
+//! * [`Engine`] — a deterministic phase-level simulator of Algorithm 2's
+//!   super-block scheduling (loading / assigning / rerouting / processing /
+//!   synchronizing / updating), with per-edge pipelining per Eq. (1),
+//! * [`Router`] — the N×N pipelined router that implements inter-PU data
+//!   sharing (§4.2, Fig. 7),
+//! * bank-level power gating of the nonvolatile edge memory (§4.1),
+//! * [`RunReport`] — energy/time accounting with the Fig. 17 breakdown.
+//!
+//! ```
+//! use hyve_core::{Engine, SystemConfig};
+//! use hyve_algorithms::PageRank;
+//! use hyve_graph::DatasetProfile;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = DatasetProfile::youtube_scaled().generate(1);
+//! let engine = Engine::new(SystemConfig::hyve_opt());
+//! let report = engine.run_on_edge_list(&PageRank::new(5), &graph)?;
+//! assert!(report.mteps_per_watt() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod controller;
+pub mod engine;
+pub mod error;
+pub mod pu;
+pub mod router;
+pub mod schedule;
+pub mod stats;
+pub mod workflow;
+
+pub use config::{EdgeMemoryKind, SystemConfig, VertexMemoryKind};
+pub use controller::{AddressMap, EdgeAddress, EdgeBuffer, StreamAnalysis, StreamBound};
+pub use engine::{Engine, PreprocessingReport};
+pub use error::CoreError;
+pub use pu::ProcessingUnit;
+pub use router::Router;
+pub use schedule::{Assignment, SuperBlockSchedule};
+pub use stats::{EnergyBreakdown, PhaseTimes, RunReport};
+pub use workflow::WorkingFlow;

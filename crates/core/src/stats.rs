@@ -1,0 +1,257 @@
+//! Run accounting: per-component energy breakdown (Fig. 17), phase times,
+//! and the headline MTEPS/W metric.
+
+use hyve_memsim::{AccessStats, Energy, EnergyDelay, Time};
+use std::fmt;
+
+/// Energy split by hierarchy component — the paper's Fig. 17 categories
+/// ("Other logic units", "Edge Memory", "Vertex Memory"), with vertex memory
+/// further split on/off-chip.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Edge-memory channel (dynamic + background).
+    pub edge_memory: AccessStats,
+    /// Off-chip (global) vertex memory.
+    pub offchip_vertex: AccessStats,
+    /// On-chip (local) vertex memory.
+    pub onchip_vertex: AccessStats,
+    /// Processing units, router, controller.
+    pub logic: AccessStats,
+}
+
+impl EnergyBreakdown {
+    /// Total energy across all components.
+    pub fn total(&self) -> Energy {
+        self.edge_memory.total_energy()
+            + self.offchip_vertex.total_energy()
+            + self.onchip_vertex.total_energy()
+            + self.logic.total_energy()
+    }
+
+    /// Combined vertex-memory energy (Fig. 17 groups on- and off-chip).
+    pub fn vertex_memory(&self) -> Energy {
+        self.offchip_vertex.total_energy() + self.onchip_vertex.total_energy()
+    }
+
+    /// Fraction of total energy spent in memory (edge + vertex) — the
+    /// quantity the paper tracks from 88.62% (SD) down to 52.91% (opt).
+    pub fn memory_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == Energy::ZERO {
+            return 0.0;
+        }
+        (self.edge_memory.total_energy() + self.vertex_memory()) / total
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        let pct = |e: Energy| {
+            if total == Energy::ZERO {
+                0.0
+            } else {
+                100.0 * (e / total)
+            }
+        };
+        write!(
+            f,
+            "edge {} ({:.1}%), vertex {} ({:.1}%), logic {} ({:.1}%)",
+            self.edge_memory.total_energy(),
+            pct(self.edge_memory.total_energy()),
+            self.vertex_memory(),
+            pct(self.vertex_memory()),
+            self.logic.total_energy(),
+            pct(self.logic.total_energy()),
+        )
+    }
+}
+
+/// Wall-clock time split across Algorithm 2's phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// Loading intervals into on-chip memory.
+    pub loading: Time,
+    /// Streaming and processing edges.
+    pub processing: Time,
+    /// Writing destination intervals back.
+    pub updating: Time,
+    /// Rerouting + synchronisation overhead.
+    pub overhead: Time,
+}
+
+impl PhaseTimes {
+    /// Total elapsed time.
+    pub fn total(&self) -> Time {
+        self.loading + self.processing + self.updating + self.overhead
+    }
+}
+
+/// Complete result of an engine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Configuration name.
+    pub config: &'static str,
+    /// Iterations executed.
+    pub iterations: u32,
+    /// Total edge traversals across all iterations.
+    pub edges_processed: u64,
+    /// Interval partition count `P` the scheduler chose.
+    pub intervals: u32,
+    /// Phase time split.
+    pub phases: PhaseTimes,
+    /// Per-component energy.
+    pub breakdown: EnergyBreakdown,
+}
+
+impl RunReport {
+    /// Total elapsed simulated time.
+    pub fn elapsed(&self) -> Time {
+        self.phases.total()
+    }
+
+    /// Total energy.
+    pub fn energy(&self) -> Energy {
+        self.breakdown.total()
+    }
+
+    /// Energy-delay product.
+    pub fn edp(&self) -> EnergyDelay {
+        self.energy() * self.elapsed()
+    }
+
+    /// Traversal throughput in millions of edges per second.
+    pub fn mteps(&self) -> f64 {
+        if self.elapsed() == Time::ZERO {
+            return 0.0;
+        }
+        self.edges_processed as f64 / self.elapsed().as_s() / 1e6
+    }
+
+    /// The paper's headline metric: millions of traversed edges per second
+    /// per watt — numerically, traversed edges per microjoule.
+    pub fn mteps_per_watt(&self) -> f64 {
+        let e = self.energy();
+        if e == Energy::ZERO {
+            return 0.0;
+        }
+        self.edges_processed as f64 / e.as_uj()
+    }
+
+    /// Average power over the run.
+    pub fn avg_power(&self) -> hyve_memsim::Power {
+        if self.elapsed() == Time::ZERO {
+            hyve_memsim::Power::ZERO
+        } else {
+            self.energy() / self.elapsed()
+        }
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: {} iters, {} edges, {} elapsed, {} total, {:.1} MTEPS/W [{}]",
+            self.algorithm,
+            self.config,
+            self.iterations,
+            self.edges_processed,
+            self.elapsed(),
+            self.energy(),
+            self.mteps_per_watt(),
+            self.breakdown,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyve_memsim::Power;
+
+    fn report() -> RunReport {
+        let mut breakdown = EnergyBreakdown::default();
+        breakdown
+            .edge_memory
+            .record_read(512, Energy::from_pj(100.0), Time::from_ns(2.0));
+        breakdown
+            .onchip_vertex
+            .record_read(32, Energy::from_pj(24.0), Time::from_ns(1.0));
+        breakdown
+            .logic
+            .record_read(0, Energy::from_pj(4.0), Time::ZERO);
+        RunReport {
+            algorithm: "PR",
+            config: "acc+HyVE",
+            iterations: 10,
+            edges_processed: 1000,
+            intervals: 8,
+            phases: PhaseTimes {
+                loading: Time::from_ns(100.0),
+                processing: Time::from_ns(800.0),
+                updating: Time::from_ns(90.0),
+                overhead: Time::from_ns(10.0),
+            },
+            breakdown,
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let r = report();
+        assert!((r.energy().as_pj() - 128.0).abs() < 1e-9);
+        assert!((r.elapsed().as_ns() - 1000.0).abs() < 1e-9);
+        assert!((r.edp().as_pj_ns() - 128_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mteps_per_watt_is_edges_per_microjoule() {
+        let r = report();
+        // 1000 edges / 128 pJ = 1000 / 1.28e-4 uJ.
+        let expect = 1000.0 / (128.0 * 1e-6);
+        assert!((r.mteps_per_watt() - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn mteps_and_power() {
+        let r = report();
+        // 1000 edges in 1 us = 1e9 edges/s = 1000 MTEPS.
+        assert!((r.mteps() - 1000.0).abs() < 1e-9);
+        let p: Power = r.avg_power();
+        assert!((p.as_mw() - 0.128).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_fraction() {
+        let r = report();
+        let frac = r.breakdown.memory_fraction();
+        assert!((frac - 124.0 / 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_report_is_safe() {
+        let r = RunReport {
+            algorithm: "BFS",
+            config: "x",
+            iterations: 0,
+            edges_processed: 0,
+            intervals: 1,
+            phases: PhaseTimes::default(),
+            breakdown: EnergyBreakdown::default(),
+        };
+        assert_eq!(r.mteps(), 0.0);
+        assert_eq!(r.mteps_per_watt(), 0.0);
+        assert_eq!(r.avg_power(), Power::ZERO);
+        assert_eq!(r.breakdown.memory_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_headline() {
+        let s = report().to_string();
+        assert!(s.contains("PR"));
+        assert!(s.contains("MTEPS/W"));
+    }
+}

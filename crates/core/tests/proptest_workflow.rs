@@ -1,0 +1,89 @@
+//! Property-based tests of the §5 working flow: arbitrary interleavings of
+//! online mutations and offline analyses always agree with a from-scratch
+//! reference on the live graph.
+
+use hyve_algorithms::{reference, Bfs, ConnectedComponents};
+use hyve_core::{SystemConfig, WorkingFlow};
+use hyve_graph::{Csr, Edge, EdgeList, Mutation, VertexId};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = EdgeList> {
+    (8u32..60).prop_flat_map(|nv| {
+        proptest::collection::vec((0..nv, 0..nv), 1..150).prop_map(move |pairs| {
+            let mut g = EdgeList::new(nv);
+            g.extend(pairs.into_iter().map(|(s, d)| Edge::new(s, d)));
+            g
+        })
+    })
+}
+
+/// An op in the interleaving: mutation kinds or an analysis point.
+type OpSpec = (u8, u32, u32);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After any mutation sequence, analysis over the live snapshot equals
+    /// the reference algorithm run on `live_edge_list()`.
+    #[test]
+    fn analysis_always_matches_live_reference(
+        g in arb_graph(),
+        ops in proptest::collection::vec(any::<OpSpec>(), 0..40),
+    ) {
+        let nv = g.num_vertices();
+        let mut flow = WorkingFlow::new(SystemConfig::hyve_opt(), &g).unwrap();
+        for (kind, a, b) in ops {
+            match kind % 4 {
+                0 => {
+                    let _ = flow.apply(Mutation::AddEdge(Edge::new(a % nv, b % nv)));
+                }
+                1 => {
+                    let _ = flow.apply(Mutation::RemoveEdge {
+                        src: a % nv,
+                        dst: b % nv,
+                    });
+                }
+                2 => {
+                    let _ = flow.apply(Mutation::AddVertex);
+                }
+                _ => {
+                    let _ = flow.apply(Mutation::RemoveVertex(VertexId::new(a % nv)));
+                }
+            }
+        }
+        let live = flow.dynamic().live_edge_list();
+        let (_, levels) = flow
+            .analyze_with_values(&Bfs::new(VertexId::new(0)))
+            .unwrap();
+        let csr = Csr::from_edge_list(&live);
+        prop_assert_eq!(&levels, &reference::bfs_levels(&csr, VertexId::new(0)));
+
+        let (_, labels) = flow
+            .analyze_with_values(&ConnectedComponents::new())
+            .unwrap();
+        prop_assert_eq!(&labels, &reference::connected_components(&live));
+    }
+
+    /// The mutation counter resets at every analysis and the live view
+    /// never references a tombstoned endpoint.
+    #[test]
+    fn counters_and_tombstones_consistent(
+        g in arb_graph(),
+        kill in proptest::collection::vec(0u32..60, 0..10),
+    ) {
+        let nv = g.num_vertices();
+        let mut flow = WorkingFlow::new(SystemConfig::hyve(), &g).unwrap();
+        let kills = kill.len() as u64;
+        for v in kill {
+            let _ = flow.apply(Mutation::RemoveVertex(VertexId::new(v % nv)));
+        }
+        prop_assert_eq!(flow.mutations_since_analysis(), kills);
+        let live = flow.dynamic().live_edge_list();
+        for e in live.iter() {
+            prop_assert!(!flow.dynamic().is_tombstoned(e.src));
+            prop_assert!(!flow.dynamic().is_tombstoned(e.dst));
+        }
+        let _ = flow.analyze(&Bfs::new(VertexId::new(0))).unwrap();
+        prop_assert_eq!(flow.mutations_since_analysis(), 0);
+    }
+}

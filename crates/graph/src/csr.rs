@@ -1,0 +1,142 @@
+//! Compressed sparse row adjacency — used by the CPU baselines and the
+//! sequential reference algorithms.
+
+use crate::edgelist::EdgeList;
+use crate::types::VertexId;
+
+/// A CSR (compressed sparse row) adjacency structure over out-edges.
+///
+/// ```
+/// use hyve_graph::{Csr, Edge, EdgeList};
+///
+/// # fn main() -> Result<(), hyve_graph::GraphError> {
+/// let g = EdgeList::from_edges(3, [Edge::new(0, 1), Edge::new(0, 2), Edge::new(2, 1)])?;
+/// let csr = Csr::from_edge_list(&g);
+/// assert_eq!(csr.out_degree(hyve_graph::VertexId::new(0)), 2);
+/// let targets: Vec<u32> = csr.neighbors(hyve_graph::VertexId::new(0))
+///     .map(|(v, _)| v.raw()).collect();
+/// assert_eq!(targets, vec![1, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+    weights: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds the CSR from an edge list (counting sort; O(V + E)).
+    pub fn from_edge_list(g: &EdgeList) -> Self {
+        let nv = g.num_vertices() as usize;
+        let mut counts = vec![0usize; nv + 1];
+        for e in g.iter() {
+            counts[e.src.index() + 1] += 1;
+        }
+        for i in 1..=nv {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![VertexId::default(); g.len()];
+        let mut weights = vec![0.0f32; g.len()];
+        for e in g.iter() {
+            let slot = cursor[e.src.index()];
+            targets[slot] = e.dst;
+            weights[slot] = e.weight;
+            cursor[e.src.index()] += 1;
+        }
+        Csr {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn out_degree(&self, v: VertexId) -> u32 {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as u32
+    }
+
+    /// Iterates over `(target, weight)` pairs of a vertex's out-edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, f32)> + '_ {
+        let range = self.offsets[v.index()]..self.offsets[v.index() + 1];
+        range
+            .clone()
+            .map(move |i| (self.targets[i], self.weights[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Edge;
+
+    fn csr() -> Csr {
+        let g = EdgeList::from_edges(
+            4,
+            [
+                Edge::new(2, 0),
+                Edge::new(0, 1),
+                Edge::new(0, 3),
+                Edge::new(2, 3),
+                Edge::with_weight(3, 0, 2.0),
+            ],
+        )
+        .unwrap();
+        Csr::from_edge_list(&g)
+    }
+
+    #[test]
+    fn shape_preserved() {
+        let c = csr();
+        assert_eq!(c.num_vertices(), 4);
+        assert_eq!(c.num_edges(), 5);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let c = csr();
+        assert_eq!(c.out_degree(VertexId::new(0)), 2);
+        assert_eq!(c.out_degree(VertexId::new(1)), 0);
+        assert_eq!(c.out_degree(VertexId::new(2)), 2);
+        let n: Vec<u32> = c.neighbors(VertexId::new(2)).map(|(v, _)| v.raw()).collect();
+        assert_eq!(n, vec![0, 3]);
+        let w: Vec<f32> = c.neighbors(VertexId::new(3)).map(|(_, w)| w).collect();
+        assert_eq!(w, vec![2.0]);
+    }
+
+    #[test]
+    fn empty_vertex_iterates_nothing() {
+        let c = csr();
+        assert_eq!(c.neighbors(VertexId::new(1)).count(), 0);
+    }
+
+    #[test]
+    fn total_degree_equals_edges() {
+        let c = csr();
+        let sum: u32 = (0..c.num_vertices())
+            .map(|v| c.out_degree(VertexId::new(v)))
+            .sum();
+        assert_eq!(sum as usize, c.num_edges());
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for graph construction and manipulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph containers, partitioning and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph has no vertices.
+    EmptyGraph,
+    /// An edge references a vertex outside the declared range.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: u32,
+        /// The declared number of vertices.
+        num_vertices: u32,
+    },
+    /// The requested number of intervals is unusable.
+    InvalidPartition {
+        /// Requested interval count.
+        intervals: u32,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// A text edge list failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A dynamic mutation could not be applied.
+    MutationFailed {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EmptyGraph => f.write_str("graph has no vertices"),
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::InvalidPartition { intervals, reason } => {
+                write!(f, "invalid partition into {intervals} intervals: {reason}")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::MutationFailed { message } => {
+                write!(f, "mutation failed: {message}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = GraphError::VertexOutOfRange {
+            vertex: 9,
+            num_vertices: 4,
+        };
+        assert!(e.to_string().contains("vertex 9"));
+        assert!(e.to_string().contains("4 vertices"));
+        assert!(GraphError::EmptyGraph.to_string().contains("no vertices"));
+        let p = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(p.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_err(GraphError::EmptyGraph);
+    }
+}

@@ -1,0 +1,239 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on five SNAP graphs we cannot redistribute; the
+//! [`Rmat`] generator (Chakrabarti et al.) reproduces their power-law degree
+//! skew — the property that determines block sparsity (Table 1's `Navg`),
+//! read/write mixes and partition balance — and [`ErdosRenyi`] provides a
+//! uniform control. Both are fully deterministic given a seed.
+
+use crate::edgelist::EdgeList;
+use crate::types::Edge;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// R-MAT recursive-matrix generator.
+///
+/// ```
+/// use hyve_graph::Rmat;
+/// let g = Rmat::new(1_000, 5_000).generate(42);
+/// assert_eq!(g.num_vertices(), 1_000);
+/// assert_eq!(g.len(), 5_000);
+/// // Deterministic:
+/// assert_eq!(g, Rmat::new(1_000, 5_000).generate(42));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rmat {
+    num_vertices: u32,
+    num_edges: usize,
+    /// Quadrant probabilities (a, b, c); d = 1 − a − b − c.
+    a: f64,
+    b: f64,
+    c: f64,
+    allow_self_loops: bool,
+}
+
+impl Rmat {
+    /// Creates a generator with the canonical skewed parameters
+    /// (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) used for social-style graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vertices` is zero.
+    pub fn new(num_vertices: u32, num_edges: usize) -> Self {
+        assert!(num_vertices > 0, "graph needs at least one vertex");
+        Rmat {
+            num_vertices,
+            num_edges,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            allow_self_loops: false,
+        }
+    }
+
+    /// Overrides the quadrant probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < a, b, c` and `a + b + c < 1`.
+    pub fn with_probabilities(mut self, a: f64, b: f64, c: f64) -> Self {
+        assert!(a > 0.0 && b > 0.0 && c > 0.0, "probabilities must be positive");
+        assert!(a + b + c < 1.0, "a + b + c must leave room for d");
+        self.a = a;
+        self.b = b;
+        self.c = c;
+        self
+    }
+
+    /// Allows self-loop edges (default: rejected and resampled).
+    pub fn with_self_loops(mut self, allow: bool) -> Self {
+        self.allow_self_loops = allow;
+        self
+    }
+
+    /// Generates the edge list deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> EdgeList {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = (32 - (self.num_vertices - 1).leading_zeros()).max(1);
+        let side = 1u64 << scale;
+        let mut list = EdgeList::new(self.num_vertices);
+        let mut edges = Vec::with_capacity(self.num_edges);
+        while edges.len() < self.num_edges {
+            let (mut x, mut y) = (0u64, 0u64);
+            let mut step = side / 2;
+            while step >= 1 {
+                let r: f64 = rng.gen();
+                if r < self.a {
+                    // top-left: nothing to add
+                } else if r < self.a + self.b {
+                    y += step;
+                } else if r < self.a + self.b + self.c {
+                    x += step;
+                } else {
+                    x += step;
+                    y += step;
+                }
+                step /= 2;
+            }
+            // Fold the 2^scale square down onto the requested vertex count.
+            let src = (x % u64::from(self.num_vertices)) as u32;
+            let dst = (y % u64::from(self.num_vertices)) as u32;
+            if !self.allow_self_loops && src == dst {
+                continue;
+            }
+            edges.push(Edge::new(src, dst));
+        }
+        list.extend(edges);
+        list
+    }
+}
+
+/// Uniform Erdős–Rényi G(n, m) generator.
+///
+/// ```
+/// use hyve_graph::ErdosRenyi;
+/// let g = ErdosRenyi::new(100, 500).generate(1);
+/// assert_eq!(g.len(), 500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErdosRenyi {
+    num_vertices: u32,
+    num_edges: usize,
+}
+
+impl ErdosRenyi {
+    /// Creates a G(n, m) generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vertices` < 2 (no non-loop edges exist).
+    pub fn new(num_vertices: u32, num_edges: usize) -> Self {
+        assert!(num_vertices >= 2, "need at least two vertices");
+        ErdosRenyi {
+            num_vertices,
+            num_edges,
+        }
+    }
+
+    /// Generates the edge list deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> EdgeList {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut list = EdgeList::new(self.num_vertices);
+        let mut edges = Vec::with_capacity(self.num_edges);
+        while edges.len() < self.num_edges {
+            let src = rng.gen_range(0..self.num_vertices);
+            let dst = rng.gen_range(0..self.num_vertices);
+            if src == dst {
+                continue;
+            }
+            edges.push(Edge::new(src, dst));
+        }
+        list.extend(edges);
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_is_deterministic_and_sized() {
+        let g1 = Rmat::new(512, 2048).generate(7);
+        let g2 = Rmat::new(512, 2048).generate(7);
+        assert_eq!(g1, g2);
+        assert_eq!(g1.len(), 2048);
+        assert_eq!(g1.num_vertices(), 512);
+        let g3 = Rmat::new(512, 2048).generate(8);
+        assert_ne!(g1, g3, "different seeds must differ");
+    }
+
+    #[test]
+    fn rmat_no_self_loops_by_default() {
+        let g = Rmat::new(100, 1000).generate(3);
+        assert!(g.iter().all(|e| !e.is_self_loop()));
+    }
+
+    #[test]
+    fn rmat_edges_in_range() {
+        let g = Rmat::new(300, 3000).generate(11); // non-power-of-two count
+        for e in g.iter() {
+            assert!(e.src.raw() < 300);
+            assert!(e.dst.raw() < 300);
+        }
+    }
+
+    #[test]
+    fn rmat_is_skewed_vs_uniform() {
+        // R-MAT's defining property: max degree far above the mean.
+        let n = 2048u32;
+        let m = 16 * n as usize;
+        let rmat = Rmat::new(n, m).generate(5);
+        let er = ErdosRenyi::new(n, m).generate(5);
+        let max_rmat = *rmat.out_degrees().iter().max().unwrap();
+        let max_er = *er.out_degrees().iter().max().unwrap();
+        assert!(
+            max_rmat > 2 * max_er,
+            "R-MAT max degree {max_rmat} should dwarf ER {max_er}"
+        );
+    }
+
+    #[test]
+    fn rmat_custom_probabilities() {
+        // Symmetric probabilities flatten the skew.
+        let g = Rmat::new(256, 4096)
+            .with_probabilities(0.25, 0.25, 0.25)
+            .generate(9);
+        let skewed = Rmat::new(256, 4096).generate(9);
+        let max_flat = *g.out_degrees().iter().max().unwrap();
+        let max_skew = *skewed.out_degrees().iter().max().unwrap();
+        assert!(max_skew > max_flat);
+    }
+
+    #[test]
+    #[should_panic(expected = "leave room for d")]
+    fn rmat_rejects_degenerate_probabilities() {
+        let _ = Rmat::new(8, 8).with_probabilities(0.5, 0.3, 0.3);
+    }
+
+    #[test]
+    fn rmat_self_loops_opt_in() {
+        let g = Rmat::new(4, 4000).with_self_loops(true).generate(2);
+        assert!(g.iter().any(|e| e.is_self_loop()));
+    }
+
+    #[test]
+    fn erdos_renyi_uniformish() {
+        let g = ErdosRenyi::new(100, 10_000).generate(4);
+        let deg = g.out_degrees();
+        let max = *deg.iter().max().unwrap() as f64;
+        let mean = 10_000.0 / 100.0;
+        assert!(max < 2.0 * mean, "uniform degrees should stay near the mean");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn erdos_renyi_needs_two_vertices() {
+        let _ = ErdosRenyi::new(1, 1);
+    }
+}

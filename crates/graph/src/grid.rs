@@ -1,0 +1,393 @@
+//! The [`GridGraph`]: edges materialised into the P×P interval-block grid
+//! (paper Fig. 1 right, §3.4 data organisation).
+//!
+//! Each block is stored as a header (source interval index, destination
+//! interval index, edge count) followed by an edge array — exactly the
+//! paper's §3.4 layout — plus *reserved slack space* (default 30%) so that
+//! dynamic edge insertions are O(1) until the slack runs out, after which
+//! extra segments are chained from the block end (§5).
+
+use crate::edgelist::EdgeList;
+use crate::error::GraphError;
+use crate::partition::{BlockId, IntervalPartition, PartitionScheme};
+use crate::types::Edge;
+
+/// Default fraction of extra capacity reserved per block for future
+/// insertions (§5: "e.g., 30% of a block size").
+pub const DEFAULT_RESERVE_FRACTION: f64 = 0.30;
+
+/// One edge block of the grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    id: BlockId,
+    edges: Vec<Edge>,
+    /// Capacity the block was laid out with (initial edges + slack).
+    reserved_capacity: usize,
+    /// Number of extra segments chained past the reserved space.
+    overflow_segments: u32,
+}
+
+impl Block {
+    fn new(id: BlockId, edges: Vec<Edge>, reserve_fraction: f64) -> Self {
+        let slack = (edges.len() as f64 * reserve_fraction).ceil() as usize;
+        // Even empty blocks get a minimal slot so additions stay O(1).
+        let reserved_capacity = (edges.len() + slack).max(4);
+        Block {
+            id,
+            edges,
+            reserved_capacity,
+            overflow_segments: 0,
+        }
+    }
+
+    /// The block's grid coordinates.
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// The edges currently in the block.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Number of edges in the block.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the block holds no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Capacity laid out for the block (initial edges + slack).
+    pub fn reserved_capacity(&self) -> usize {
+        self.reserved_capacity
+    }
+
+    /// Number of overflow segments chained onto this block.
+    pub fn overflow_segments(&self) -> u32 {
+        self.overflow_segments
+    }
+
+    /// Appends an edge. Returns `true` if the append fit in reserved space,
+    /// `false` if a new overflow segment had to be linked (§5 "when the
+    /// reserved memory space is out").
+    pub(crate) fn push_edge(&mut self, e: Edge) -> bool {
+        self.edges.push(e);
+        if self.edges.len() <= self.reserved_capacity {
+            true
+        } else {
+            // Chain a new segment sized like the slack region.
+            self.overflow_segments += 1;
+            self.reserved_capacity = self.edges.len()
+                + ((self.edges.len() as f64 * DEFAULT_RESERVE_FRACTION).ceil() as usize)
+                    .max(4);
+            false
+        }
+    }
+
+    /// Removes the first edge matching (src, dst) by swapping in the last
+    /// edge of the block (§5 deletion). Returns the removed edge.
+    pub(crate) fn remove_edge(&mut self, src: u32, dst: u32) -> Option<Edge> {
+        let pos = self
+            .edges
+            .iter()
+            .position(|e| e.src.raw() == src && e.dst.raw() == dst)?;
+        Some(self.edges.swap_remove(pos))
+    }
+
+    /// Bits occupied in edge memory: 3 × 32-bit header + 64 bits per edge
+    /// slot actually written (paper §3.4).
+    pub fn storage_bits(&self) -> u64 {
+        96 + Edge::BITS * self.edges.len() as u64
+    }
+}
+
+/// A graph partitioned into a P×P grid of edge blocks.
+///
+/// ```
+/// use hyve_graph::{Edge, EdgeList, GridGraph};
+///
+/// # fn main() -> Result<(), hyve_graph::GraphError> {
+/// let g = EdgeList::from_edges(8, [Edge::new(2, 4), Edge::new(0, 7)])?;
+/// let grid = GridGraph::partition(&g, 4)?;
+/// // e2.4 lands in B1.2 exactly as the paper's Fig. 1 shows.
+/// assert_eq!(grid.block_at(1, 2).len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridGraph {
+    partition: IntervalPartition,
+    blocks: Vec<Block>,
+    num_edges: u64,
+}
+
+impl GridGraph {
+    /// Partitions an edge list into a P×P grid using contiguous intervals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IntervalPartition::new`] errors.
+    pub fn partition(g: &EdgeList, p: u32) -> Result<Self, GraphError> {
+        Self::partition_with_scheme(g, p, PartitionScheme::Contiguous)
+    }
+
+    /// Partitions with an explicit interval scheme.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IntervalPartition::new`] errors.
+    pub fn partition_with_scheme(
+        g: &EdgeList,
+        p: u32,
+        scheme: PartitionScheme,
+    ) -> Result<Self, GraphError> {
+        let partition = IntervalPartition::new(g.num_vertices(), p, scheme)?;
+        // Counting sort into P² buckets: one pass to size, one to fill.
+        let p_usize = p as usize;
+        let mut counts = vec![0usize; p_usize * p_usize];
+        for e in g.iter() {
+            counts[partition.block_of(e).linear(p)] += 1;
+        }
+        let mut buckets: Vec<Vec<Edge>> =
+            counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for e in g.iter() {
+            buckets[partition.block_of(e).linear(p)].push(*e);
+        }
+        let blocks = buckets
+            .into_iter()
+            .enumerate()
+            .map(|(i, edges)| {
+                let id = BlockId::new((i / p_usize) as u32, (i % p_usize) as u32);
+                Block::new(id, edges, DEFAULT_RESERVE_FRACTION)
+            })
+            .collect();
+        Ok(GridGraph {
+            partition,
+            blocks,
+            num_edges: g.len() as u64,
+        })
+    }
+
+    /// The vertex partition underlying the grid.
+    pub fn partition_info(&self) -> &IntervalPartition {
+        &self.partition
+    }
+
+    /// Number of intervals `P`.
+    pub fn num_intervals(&self) -> u32 {
+        self.partition.num_intervals()
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        self.partition.num_vertices()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Total number of blocks (P²).
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of blocks holding at least one edge.
+    pub fn non_empty_blocks(&self) -> usize {
+        self.blocks.iter().filter(|b| !b.is_empty()).count()
+    }
+
+    /// The block at grid coordinates (src interval, dst interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is ≥ P.
+    pub fn block_at(&self, src: u32, dst: u32) -> &Block {
+        let p = self.num_intervals();
+        assert!(src < p && dst < p, "block ({src},{dst}) out of a {p}x{p} grid");
+        &self.blocks[BlockId::new(src, dst).linear(p)]
+    }
+
+    pub(crate) fn block_at_mut(&mut self, src: u32, dst: u32) -> &mut Block {
+        let p = self.num_intervals();
+        assert!(src < p && dst < p, "block ({src},{dst}) out of a {p}x{p} grid");
+        &mut self.blocks[BlockId::new(src, dst).linear(p)]
+    }
+
+    pub(crate) fn add_edge_count(&mut self, delta: i64) {
+        self.num_edges = self.num_edges.wrapping_add_signed(delta);
+    }
+
+    /// Iterates over all blocks in row-major order.
+    pub fn blocks(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// Iterates over every edge of the grid (block by block).
+    pub fn iter_edges(&self) -> impl Iterator<Item = &Edge> {
+        self.blocks.iter().flat_map(|b| b.edges().iter())
+    }
+
+    /// Total edge-memory footprint in bits (§3.4 layout).
+    pub fn edge_storage_bits(&self) -> u64 {
+        self.blocks.iter().map(Block::storage_bits).sum()
+    }
+
+    /// Vertex-memory footprint in bits for `value_bits`-wide vertex values:
+    /// per interval, a 2 × 32-bit header plus one value per vertex (§3.4).
+    pub fn vertex_storage_bits(&self, value_bits: u64) -> u64 {
+        u64::from(self.num_intervals()) * 64
+            + u64::from(self.num_vertices()) * value_bits
+    }
+
+    /// Flattens the grid back into an edge list (inverse of partitioning,
+    /// up to edge order).
+    pub fn to_edge_list(&self) -> EdgeList {
+        let mut list = EdgeList::new(self.num_vertices());
+        list.extend(self.iter_edges().copied());
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 1 graph.
+    fn fig1() -> EdgeList {
+        EdgeList::from_edges(
+            8,
+            [
+                (1, 0),
+                (0, 7),
+                (2, 3),
+                (2, 4),
+                (3, 4),
+                (3, 7),
+                (4, 1),
+                (4, 5),
+                (6, 2),
+                (6, 0),
+                (7, 1),
+            ]
+            .into_iter()
+            .map(|(s, d)| Edge::new(s, d)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig1_block_assignment() {
+        let grid = GridGraph::partition(&fig1(), 4).unwrap();
+        assert_eq!(grid.num_blocks(), 16);
+        assert_eq!(grid.num_edges(), 11);
+        // Paper Fig. 1: B0.0 = {1->0}, B0.3 = {0->7}, B1.1 = {2->3},
+        // B1.2 = {2->4, 3->4}, B1.3 = {3->7}, B2.0 = {4->1}, B2.2 = {4->5},
+        // B3.0 = {6->2 is B3.1! 6 in I3, 2 in I1}, ...
+        assert_eq!(grid.block_at(0, 0).len(), 1);
+        assert_eq!(grid.block_at(0, 3).len(), 1);
+        assert_eq!(grid.block_at(1, 1).len(), 1);
+        assert_eq!(grid.block_at(1, 2).len(), 2);
+        assert_eq!(grid.block_at(1, 3).len(), 1);
+        assert_eq!(grid.block_at(2, 0).len(), 1);
+        assert_eq!(grid.block_at(2, 2).len(), 1);
+        assert_eq!(grid.block_at(3, 1).len(), 1);
+        assert_eq!(grid.block_at(3, 0).len(), 2); // 6->0 and 7->1
+        let total: usize = grid.blocks().map(Block::len).sum();
+        assert_eq!(total, 11);
+    }
+
+    #[test]
+    fn every_edge_lands_in_its_block() {
+        let grid = GridGraph::partition(&fig1(), 4).unwrap();
+        for block in grid.blocks() {
+            for e in block.edges() {
+                assert_eq!(grid.partition_info().block_of(e), block.id());
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_to_edge_list() {
+        let g = fig1();
+        let grid = GridGraph::partition(&g, 4).unwrap();
+        let mut back = grid.to_edge_list();
+        let mut orig = g.clone();
+        back.sort_by_src();
+        orig.sort_by_src();
+        assert_eq!(back, orig);
+    }
+
+    #[test]
+    fn reserved_slack_present() {
+        let grid = GridGraph::partition(&fig1(), 4).unwrap();
+        for b in grid.blocks() {
+            assert!(b.reserved_capacity() >= b.len());
+            assert_eq!(b.overflow_segments(), 0);
+        }
+    }
+
+    #[test]
+    fn block_push_overflow_chains_segments() {
+        let mut b = Block::new(BlockId::new(0, 0), vec![Edge::new(0, 1)], 0.3);
+        let cap = b.reserved_capacity();
+        let mut overflowed = 0;
+        for i in 0..20 {
+            if !b.push_edge(Edge::new(0, i)) {
+                overflowed += 1;
+            }
+        }
+        assert!(overflowed >= 1, "must overflow past capacity {cap}");
+        assert_eq!(b.overflow_segments(), overflowed);
+        assert_eq!(b.len(), 21);
+    }
+
+    #[test]
+    fn block_remove_swaps_last() {
+        let mut b = Block::new(
+            BlockId::new(0, 0),
+            vec![Edge::new(0, 1), Edge::new(0, 2), Edge::new(0, 3)],
+            0.3,
+        );
+        let removed = b.remove_edge(0, 1).unwrap();
+        assert_eq!(removed, Edge::new(0, 1));
+        assert_eq!(b.len(), 2);
+        // Last edge (0,3) moved into slot 0.
+        assert_eq!(b.edges()[0], Edge::new(0, 3));
+        assert!(b.remove_edge(9, 9).is_none());
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let grid = GridGraph::partition(&fig1(), 4).unwrap();
+        // 16 block headers of 96 bits + 11 edges of 64 bits.
+        assert_eq!(grid.edge_storage_bits(), 16 * 96 + 11 * 64);
+        assert_eq!(grid.vertex_storage_bits(32), 4 * 64 + 8 * 32);
+    }
+
+    #[test]
+    fn single_interval_grid() {
+        let grid = GridGraph::partition(&fig1(), 1).unwrap();
+        assert_eq!(grid.num_blocks(), 1);
+        assert_eq!(grid.block_at(0, 0).len(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of a")]
+    fn block_at_out_of_range_panics() {
+        let grid = GridGraph::partition(&fig1(), 2).unwrap();
+        let _ = grid.block_at(2, 0);
+    }
+
+    #[test]
+    fn empty_edge_list_still_partitions() {
+        let g = EdgeList::new(8);
+        let grid = GridGraph::partition(&g, 4).unwrap();
+        assert_eq!(grid.num_edges(), 0);
+        assert_eq!(grid.non_empty_blocks(), 0);
+    }
+}

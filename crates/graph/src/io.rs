@@ -1,0 +1,153 @@
+//! SNAP-style text edge-list I/O.
+//!
+//! The paper's datasets ship in the SNAP format: `#`-prefixed comment lines
+//! followed by whitespace-separated `src dst [weight]` rows. [`parse`]
+//! accepts any `BufRead`; pass `&mut reader` if you need the reader back
+//! afterwards.
+
+use crate::edgelist::EdgeList;
+use crate::error::GraphError;
+use crate::types::Edge;
+use std::io::{BufRead, Write};
+
+/// Parses a SNAP-style edge list. The vertex count is one past the largest
+/// index seen (SNAP files carry no explicit count).
+///
+/// ```
+/// use hyve_graph::io::parse;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "# demo graph\n0\t1\n1 2 0.5\n";
+/// let g = parse(text.as_bytes())?;
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.len(), 2);
+/// assert_eq!(g.edges()[1].weight, 0.5);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// [`GraphError::Parse`] with the 1-based line number on malformed rows or
+/// I/O failure.
+pub fn parse<R: BufRead>(reader: R) -> Result<EdgeList, GraphError> {
+    let mut edges = Vec::new();
+    let mut max_vertex = 0u32;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| GraphError::Parse {
+            line: idx + 1,
+            message: e.to_string(),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse_u32 = |tok: Option<&str>, what: &str| -> Result<u32, GraphError> {
+            tok.ok_or_else(|| GraphError::Parse {
+                line: idx + 1,
+                message: format!("missing {what}"),
+            })?
+            .parse()
+            .map_err(|_| GraphError::Parse {
+                line: idx + 1,
+                message: format!("invalid {what}"),
+            })
+        };
+        let src = parse_u32(parts.next(), "source vertex")?;
+        let dst = parse_u32(parts.next(), "destination vertex")?;
+        let weight = match parts.next() {
+            Some(tok) => tok.parse().map_err(|_| GraphError::Parse {
+                line: idx + 1,
+                message: "invalid weight".into(),
+            })?,
+            None => 1.0,
+        };
+        max_vertex = max_vertex.max(src).max(dst);
+        edges.push(Edge::with_weight(src, dst, weight));
+    }
+    let num_vertices = if edges.is_empty() { 0 } else { max_vertex + 1 };
+    let mut list = EdgeList::new(num_vertices);
+    list.extend(edges);
+    Ok(list)
+}
+
+/// Writes an edge list in SNAP format. Weights are emitted only when ≠ 1.0.
+/// A `&mut` writer may be passed if the writer is needed afterwards.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write<W: Write>(g: &EdgeList, mut writer: W) -> std::io::Result<()> {
+    writeln!(
+        writer,
+        "# hyve-graph edge list: {} vertices, {} edges",
+        g.num_vertices(),
+        g.len()
+    )?;
+    for e in g.iter() {
+        if e.weight == 1.0 {
+            writeln!(writer, "{}\t{}", e.src.raw(), e.dst.raw())?;
+        } else {
+            writeln!(writer, "{}\t{}\t{}", e.src.raw(), e.dst.raw(), e.weight)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "# comment\n\n0 1\n# another\n2 3\n";
+        let g = parse(text.as_bytes()).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.num_vertices(), 4);
+    }
+
+    #[test]
+    fn parses_weights() {
+        let g = parse("0 1 2.5\n".as_bytes()).unwrap();
+        assert_eq!(g.edges()[0].weight, 2.5);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse("0 1\nbogus\n".as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_destination_is_an_error() {
+        let err = parse("7\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("destination"));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = parse("# nothing\n".as_bytes()).unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut orig = EdgeList::new(5);
+        orig.extend([
+            Edge::new(0, 1),
+            Edge::with_weight(1, 4, 0.25),
+            Edge::new(3, 2),
+        ]);
+        let mut buf = Vec::new();
+        write(&orig, &mut buf).unwrap();
+        let back = parse(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), orig.len());
+        for (a, b) in back.iter().zip(orig.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+}

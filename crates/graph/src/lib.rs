@@ -1,0 +1,52 @@
+//! # hyve-graph — graph substrate for the HyVE reproduction
+//!
+//! Everything the HyVE simulator needs to hold and shape graphs:
+//!
+//! * [`EdgeList`] / [`Csr`] — basic containers,
+//! * [`GridGraph`] — the interval-block (P×P) partitioning of §2.1/Fig. 1,
+//!   with per-block reserved slack for dynamic updates (§5),
+//! * [`DynamicGrid`] — the O(1) add/delete working flow for evolving graphs,
+//! * [`generate`] — R-MAT and Erdős–Rényi generators,
+//! * [`DatasetProfile`] — scaled-down stand-ins for the paper's five SNAP
+//!   datasets (YT, WK, AS, LJ, TW) preserving |E|/|V| ratio and skew,
+//! * [`io`] — SNAP-style text edge-list parsing.
+//!
+//! ## Example
+//!
+//! ```
+//! use hyve_graph::{DatasetProfile, GridGraph};
+//!
+//! # fn main() -> Result<(), hyve_graph::GraphError> {
+//! let edges = DatasetProfile::youtube_scaled().generate(7);
+//! let grid = GridGraph::partition(&edges, 8)?;
+//! assert_eq!(grid.num_blocks(), 64);
+//! assert_eq!(grid.num_edges(), edges.len() as u64);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod datasets;
+pub mod dynamic;
+pub mod edgelist;
+pub mod error;
+pub mod generate;
+pub mod grid;
+pub mod io;
+pub mod partition;
+pub mod stats;
+pub mod types;
+
+pub use csr::Csr;
+pub use datasets::DatasetProfile;
+pub use dynamic::{DynamicGrid, Mutation, MutationOutcome};
+pub use edgelist::EdgeList;
+pub use error::GraphError;
+pub use generate::{ErdosRenyi, Rmat};
+pub use grid::{Block, GridGraph};
+pub use partition::{block_sparsity, BlockId, IntervalPartition, PartitionScheme, SparsityStats};
+pub use stats::DegreeStats;
+pub use types::{Edge, VertexId};

@@ -1,0 +1,377 @@
+//! Interval-block partitioning (paper §2.1, Fig. 1).
+//!
+//! Vertices are divided into `P` *intervals*; edges into `P²` *blocks*:
+//! edge `(s, d)` lands in block `(interval(s), interval(d))`. HyVE adopts the
+//! hash-based (round-robin) assignment of ForeGraph/GraphH to balance
+//! workloads across processing units (§4.3); contiguous ranges are also
+//! provided for comparison and for GraphR-style index partitioning.
+
+use crate::edgelist::EdgeList;
+use crate::error::GraphError;
+use crate::types::{Edge, VertexId};
+use std::collections::HashMap;
+
+/// Coordinates of one block in the P×P grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId {
+    /// Source interval index.
+    pub src: u32,
+    /// Destination interval index.
+    pub dst: u32,
+}
+
+impl BlockId {
+    /// Creates a block id.
+    pub fn new(src: u32, dst: u32) -> Self {
+        BlockId { src, dst }
+    }
+
+    /// Row-major linear index within a P×P grid.
+    pub fn linear(self, p: u32) -> usize {
+        self.src as usize * p as usize + self.dst as usize
+    }
+}
+
+/// How vertices map to intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PartitionScheme {
+    /// Contiguous index ranges (GridGraph/NXgraph style, paper Fig. 1).
+    #[default]
+    Contiguous,
+    /// Round-robin by index — the hash-based balancing of ForeGraph/GraphH
+    /// that HyVE uses to equalise per-PU work (§4.3).
+    RoundRobin,
+}
+
+/// A partition of `num_vertices` vertices into `num_intervals` intervals.
+///
+/// ```
+/// use hyve_graph::{IntervalPartition, PartitionScheme, VertexId};
+///
+/// # fn main() -> Result<(), hyve_graph::GraphError> {
+/// let p = IntervalPartition::new(8, 4, PartitionScheme::Contiguous)?;
+/// assert_eq!(p.interval_of(VertexId::new(5)), 2);
+/// assert_eq!(p.interval_len(3), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalPartition {
+    num_vertices: u32,
+    num_intervals: u32,
+    scheme: PartitionScheme,
+    /// Ceiling of vertices per interval (contiguous scheme).
+    stride: u32,
+}
+
+impl IntervalPartition {
+    /// Creates a partition.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::EmptyGraph`] for zero vertices;
+    /// [`GraphError::InvalidPartition`] when `num_intervals` is zero or
+    /// exceeds the vertex count.
+    pub fn new(
+        num_vertices: u32,
+        num_intervals: u32,
+        scheme: PartitionScheme,
+    ) -> Result<Self, GraphError> {
+        if num_vertices == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        if num_intervals == 0 {
+            return Err(GraphError::InvalidPartition {
+                intervals: num_intervals,
+                reason: "must be at least 1",
+            });
+        }
+        if num_intervals > num_vertices {
+            return Err(GraphError::InvalidPartition {
+                intervals: num_intervals,
+                reason: "more intervals than vertices",
+            });
+        }
+        Ok(IntervalPartition {
+            num_vertices,
+            num_intervals,
+            scheme,
+            stride: num_vertices.div_ceil(num_intervals),
+        })
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Number of intervals `P`.
+    pub fn num_intervals(&self) -> u32 {
+        self.num_intervals
+    }
+
+    /// The assignment scheme.
+    pub fn scheme(&self) -> PartitionScheme {
+        self.scheme
+    }
+
+    /// Interval that owns vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn interval_of(&self, v: VertexId) -> u32 {
+        assert!(
+            v.raw() < self.num_vertices,
+            "vertex {v} out of range ({} vertices)",
+            self.num_vertices
+        );
+        match self.scheme {
+            PartitionScheme::Contiguous => v.raw() / self.stride,
+            PartitionScheme::RoundRobin => v.raw() % self.num_intervals,
+        }
+    }
+
+    /// Position of vertex `v` within its interval's local storage.
+    pub fn local_index(&self, v: VertexId) -> u32 {
+        match self.scheme {
+            PartitionScheme::Contiguous => v.raw() % self.stride,
+            PartitionScheme::RoundRobin => v.raw() / self.num_intervals,
+        }
+    }
+
+    /// Reconstructs the global vertex id from (interval, local index).
+    pub fn global_index(&self, interval: u32, local: u32) -> VertexId {
+        match self.scheme {
+            PartitionScheme::Contiguous => VertexId::new(interval * self.stride + local),
+            PartitionScheme::RoundRobin => {
+                VertexId::new(local * self.num_intervals + interval)
+            }
+        }
+    }
+
+    /// Number of vertices in interval `i`.
+    pub fn interval_len(&self, i: u32) -> u32 {
+        debug_assert!(i < self.num_intervals);
+        match self.scheme {
+            PartitionScheme::Contiguous => {
+                let start = i * self.stride;
+                let end = (start + self.stride).min(self.num_vertices);
+                end.saturating_sub(start)
+            }
+            PartitionScheme::RoundRobin => {
+                let base = self.num_vertices / self.num_intervals;
+                let extra = u32::from(i < self.num_vertices % self.num_intervals);
+                base + extra
+            }
+        }
+    }
+
+    /// Largest interval size (the on-chip memory must hold this many).
+    pub fn max_interval_len(&self) -> u32 {
+        (0..self.num_intervals)
+            .map(|i| self.interval_len(i))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Block of an edge.
+    pub fn block_of(&self, e: &Edge) -> BlockId {
+        BlockId::new(self.interval_of(e.src), self.interval_of(e.dst))
+    }
+
+    /// Iterates over the vertices of interval `i` in local-index order.
+    pub fn interval_vertices(&self, i: u32) -> impl Iterator<Item = VertexId> + '_ {
+        let len = self.interval_len(i);
+        (0..len).map(move |local| self.global_index(i, local))
+    }
+}
+
+/// Block-occupancy statistics for a fixed block edge-capacity grid
+/// (paper Table 1: 8×8-vertex blocks).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsityStats {
+    /// Number of blocks containing at least one edge.
+    pub non_empty_blocks: u64,
+    /// Total edges counted.
+    pub edges: u64,
+    /// Average edges per non-empty block (the paper's `Navg`).
+    pub avg_edges_per_block: f64,
+    /// Largest edge count in any block.
+    pub max_edges_per_block: u64,
+}
+
+/// Computes GraphR-style block sparsity: vertices are grouped in runs of
+/// `block_dim` (GraphR: 8), and the grid of `(⌈V/8⌉)²` logical blocks is
+/// scanned for occupancy. Only non-empty blocks are materialised, so this
+/// scales to the paper's Twitter-sized grids.
+///
+/// ```
+/// use hyve_graph::{block_sparsity, Edge, EdgeList};
+///
+/// # fn main() -> Result<(), hyve_graph::GraphError> {
+/// let g = EdgeList::from_edges(16, [Edge::new(0, 1), Edge::new(1, 0), Edge::new(9, 9)])?;
+/// let s = block_sparsity(&g, 8);
+/// assert_eq!(s.non_empty_blocks, 2);
+/// assert_eq!(s.avg_edges_per_block, 1.5);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Panics
+///
+/// Panics if `block_dim` is zero.
+pub fn block_sparsity(g: &EdgeList, block_dim: u32) -> SparsityStats {
+    assert!(block_dim > 0, "block dimension must be positive");
+    let mut counts: HashMap<(u32, u32), u64> = HashMap::new();
+    for e in g.iter() {
+        let key = (e.src.raw() / block_dim, e.dst.raw() / block_dim);
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    let non_empty = counts.len() as u64;
+    let edges = g.len() as u64;
+    let max = counts.values().copied().max().unwrap_or(0);
+    SparsityStats {
+        non_empty_blocks: non_empty,
+        edges,
+        avg_edges_per_block: if non_empty == 0 {
+            0.0
+        } else {
+            edges as f64 / non_empty as f64
+        },
+        max_edges_per_block: max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contiguous(nv: u32, p: u32) -> IntervalPartition {
+        IntervalPartition::new(nv, p, PartitionScheme::Contiguous).unwrap()
+    }
+
+    fn round_robin(nv: u32, p: u32) -> IntervalPartition {
+        IntervalPartition::new(nv, p, PartitionScheme::RoundRobin).unwrap()
+    }
+
+    #[test]
+    fn fig1_partitioning() {
+        // 8 vertices into 4 intervals: I0={0,1} ... I3={6,7}.
+        let p = contiguous(8, 4);
+        assert_eq!(p.interval_of(VertexId::new(0)), 0);
+        assert_eq!(p.interval_of(VertexId::new(1)), 0);
+        assert_eq!(p.interval_of(VertexId::new(2)), 1);
+        assert_eq!(p.interval_of(VertexId::new(7)), 3);
+        // Edge e2.4 goes to B1.2, exactly as in the paper's example.
+        let e = Edge::new(2, 4);
+        assert_eq!(p.block_of(&e), BlockId::new(1, 2));
+    }
+
+    #[test]
+    fn local_global_round_trip_contiguous() {
+        let p = contiguous(10, 3); // stride 4: [0..4), [4..8), [8..10)
+        for v in 0..10 {
+            let v = VertexId::new(v);
+            let i = p.interval_of(v);
+            let l = p.local_index(v);
+            assert_eq!(p.global_index(i, l), v);
+        }
+        assert_eq!(p.interval_len(0), 4);
+        assert_eq!(p.interval_len(2), 2);
+        assert_eq!(p.max_interval_len(), 4);
+    }
+
+    #[test]
+    fn local_global_round_trip_round_robin() {
+        let p = round_robin(10, 3);
+        for v in 0..10 {
+            let v = VertexId::new(v);
+            let i = p.interval_of(v);
+            let l = p.local_index(v);
+            assert_eq!(p.global_index(i, l), v);
+        }
+        // 10 = 3*3 + 1: interval 0 gets the extra vertex.
+        assert_eq!(p.interval_len(0), 4);
+        assert_eq!(p.interval_len(1), 3);
+        assert_eq!(p.interval_len(2), 3);
+    }
+
+    #[test]
+    fn round_robin_is_balanced() {
+        let p = round_robin(1000, 7);
+        let sizes: Vec<u32> = (0..7).map(|i| p.interval_len(i)).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min <= 1, "round robin must balance within 1");
+        assert_eq!(sizes.iter().sum::<u32>(), 1000);
+    }
+
+    #[test]
+    fn interval_vertices_cover_everything_once() {
+        for scheme in [PartitionScheme::Contiguous, PartitionScheme::RoundRobin] {
+            let p = IntervalPartition::new(23, 5, scheme).unwrap();
+            let mut seen = vec![false; 23];
+            for i in 0..5 {
+                for v in p.interval_vertices(i) {
+                    assert!(!seen[v.index()], "vertex {v} seen twice");
+                    seen[v.index()] = true;
+                    assert_eq!(p.interval_of(v), i);
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn invalid_partitions_rejected() {
+        assert!(matches!(
+            IntervalPartition::new(0, 1, PartitionScheme::Contiguous),
+            Err(GraphError::EmptyGraph)
+        ));
+        assert!(IntervalPartition::new(4, 0, PartitionScheme::Contiguous).is_err());
+        assert!(IntervalPartition::new(4, 5, PartitionScheme::Contiguous).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn interval_of_out_of_range_panics() {
+        let p = contiguous(4, 2);
+        let _ = p.interval_of(VertexId::new(4));
+    }
+
+    #[test]
+    fn block_linear_index() {
+        let b = BlockId::new(2, 3);
+        assert_eq!(b.linear(4), 11);
+    }
+
+    #[test]
+    fn sparsity_empty_graph() {
+        let g = EdgeList::new(8);
+        let s = block_sparsity(&g, 8);
+        assert_eq!(s.non_empty_blocks, 0);
+        assert_eq!(s.avg_edges_per_block, 0.0);
+        assert_eq!(s.max_edges_per_block, 0);
+    }
+
+    #[test]
+    fn sparsity_counts_blocks() {
+        let g = EdgeList::from_edges(
+            32,
+            [
+                Edge::new(0, 0),
+                Edge::new(1, 2),
+                Edge::new(7, 7),  // all three in block (0,0)
+                Edge::new(8, 0),  // block (1,0)
+                Edge::new(31, 31), // block (3,3)
+            ],
+        )
+        .unwrap();
+        let s = block_sparsity(&g, 8);
+        assert_eq!(s.non_empty_blocks, 3);
+        assert_eq!(s.edges, 5);
+        assert!((s.avg_edges_per_block - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.max_edges_per_block, 3);
+    }
+}

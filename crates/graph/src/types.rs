@@ -1,0 +1,158 @@
+//! Core graph value types: [`VertexId`] and [`Edge`].
+
+use std::fmt;
+
+/// Index of a vertex in a graph.
+///
+/// A thin newtype over `u32` — the paper's edge format is two 32-bit vertex
+/// indices (§6.2), so `u32` is the faithful width.
+///
+/// ```
+/// use hyve_graph::VertexId;
+/// let v = VertexId::new(7);
+/// assert_eq!(v.index(), 7usize);
+/// assert_eq!(u32::from(v), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(u32);
+
+impl VertexId {
+    /// Creates a vertex id.
+    pub const fn new(id: u32) -> Self {
+        VertexId(id)
+    }
+
+    /// The raw index value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The index as a `usize`, for slice indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<VertexId> for u32 {
+    fn from(v: VertexId) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A directed edge with an optional constant weight.
+///
+/// The paper stores an edge as source + destination index (64 bits) "and
+/// possibly a constant edge weight" (§3.1); we carry the weight for
+/// SSSP/SpMV and let unweighted algorithms ignore it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Constant weight (1.0 for unweighted graphs).
+    pub weight: f32,
+}
+
+impl Edge {
+    /// Size of the paper's on-memory edge record: two 32-bit indices.
+    pub const BITS: u64 = 64;
+
+    /// Creates an unweighted edge (weight 1.0).
+    ///
+    /// ```
+    /// use hyve_graph::Edge;
+    /// let e = Edge::new(2, 4);
+    /// assert_eq!(e.src.raw(), 2);
+    /// assert_eq!(e.weight, 1.0);
+    /// ```
+    pub fn new(src: u32, dst: u32) -> Self {
+        Edge {
+            src: VertexId::new(src),
+            dst: VertexId::new(dst),
+            weight: 1.0,
+        }
+    }
+
+    /// Creates a weighted edge.
+    pub fn with_weight(src: u32, dst: u32, weight: f32) -> Self {
+        Edge {
+            src: VertexId::new(src),
+            dst: VertexId::new(dst),
+            weight,
+        }
+    }
+
+    /// True if the edge is a self-loop.
+    pub fn is_self_loop(&self) -> bool {
+        self.src == self.dst
+    }
+
+    /// The edge with source and destination swapped.
+    pub fn reversed(self) -> Edge {
+        Edge {
+            src: self.dst,
+            dst: self.src,
+            weight: self.weight,
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.src, self.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_round_trips() {
+        let v = VertexId::new(42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(VertexId::from(42u32), v);
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(v.to_string(), "v42");
+    }
+
+    #[test]
+    fn vertex_ids_order_by_index() {
+        assert!(VertexId::new(1) < VertexId::new(2));
+        assert_eq!(VertexId::default(), VertexId::new(0));
+    }
+
+    #[test]
+    fn edge_basics() {
+        let e = Edge::new(1, 0);
+        assert_eq!(e.weight, 1.0);
+        assert!(!e.is_self_loop());
+        assert!(Edge::new(3, 3).is_self_loop());
+        assert_eq!(e.to_string(), "v1->v0");
+        assert_eq!(Edge::BITS, 64);
+    }
+
+    #[test]
+    fn edge_reversal() {
+        let e = Edge::with_weight(1, 2, 2.5);
+        let r = e.reversed();
+        assert_eq!(r.src.raw(), 2);
+        assert_eq!(r.dst.raw(), 1);
+        assert_eq!(r.weight, 2.5);
+        assert_eq!(r.reversed(), e);
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for the graph substrate: partitioning is a
+//! lossless, well-formed reshaping of the edge list, and dynamic mutation
+//! sequences agree with a naive multiset model.
+
+use hyve_graph::{
+    block_sparsity, DynamicGrid, Edge, EdgeList, GridGraph, IntervalPartition, Mutation,
+    PartitionScheme, VertexId,
+};
+use proptest::prelude::*;
+
+/// Random (num_vertices, edges) pair with valid endpoints.
+fn arb_graph() -> impl Strategy<Value = EdgeList> {
+    (2u32..200).prop_flat_map(|nv| {
+        proptest::collection::vec((0..nv, 0..nv), 0..400).prop_map(move |pairs| {
+            let mut g = EdgeList::new(nv);
+            g.extend(pairs.into_iter().map(|(s, d)| Edge::new(s, d)));
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Partitioning then flattening returns exactly the original multiset
+    /// of edges, for any legal interval count and either scheme.
+    #[test]
+    fn partition_round_trips(g in arb_graph(), p in 1u32..32,
+                             round_robin in proptest::bool::ANY) {
+        let p = p.min(g.num_vertices());
+        let scheme = if round_robin {
+            PartitionScheme::RoundRobin
+        } else {
+            PartitionScheme::Contiguous
+        };
+        let grid = GridGraph::partition_with_scheme(&g, p, scheme).unwrap();
+        prop_assert_eq!(grid.num_edges(), g.len() as u64);
+        prop_assert_eq!(grid.num_blocks(), (p as usize).pow(2));
+
+        let mut back: Vec<(u32, u32)> = grid
+            .iter_edges()
+            .map(|e| (e.src.raw(), e.dst.raw()))
+            .collect();
+        let mut orig: Vec<(u32, u32)> = g
+            .iter()
+            .map(|e| (e.src.raw(), e.dst.raw()))
+            .collect();
+        back.sort_unstable();
+        orig.sort_unstable();
+        prop_assert_eq!(back, orig);
+    }
+
+    /// Every edge lands in the block its endpoints' intervals dictate.
+    #[test]
+    fn edges_land_in_correct_blocks(g in arb_graph(), p in 1u32..16) {
+        let p = p.min(g.num_vertices());
+        let grid = GridGraph::partition(&g, p).unwrap();
+        for block in grid.blocks() {
+            for e in block.edges() {
+                prop_assert_eq!(grid.partition_info().block_of(e), block.id());
+            }
+        }
+    }
+
+    /// interval_of / local_index / global_index form a bijection.
+    #[test]
+    fn interval_mapping_is_bijective(nv in 1u32..5000, p in 1u32..64,
+                                     round_robin in proptest::bool::ANY) {
+        let p = p.min(nv);
+        let scheme = if round_robin {
+            PartitionScheme::RoundRobin
+        } else {
+            PartitionScheme::Contiguous
+        };
+        let part = IntervalPartition::new(nv, p, scheme).unwrap();
+        let mut sizes = 0u32;
+        for i in 0..p {
+            sizes += part.interval_len(i);
+        }
+        prop_assert_eq!(sizes, nv, "interval sizes must cover all vertices");
+        for v in (0..nv).step_by(1 + nv as usize / 257) {
+            let v = VertexId::new(v);
+            let i = part.interval_of(v);
+            prop_assert!(i < p);
+            prop_assert_eq!(part.global_index(i, part.local_index(v)), v);
+        }
+    }
+
+    /// Block sparsity accounting is conserved: edge counts across non-empty
+    /// blocks sum to the total, and Navg is consistent.
+    #[test]
+    fn sparsity_conservation(g in arb_graph(), dim in 1u32..16) {
+        let stats = block_sparsity(&g, dim);
+        prop_assert_eq!(stats.edges, g.len() as u64);
+        if g.is_empty() {
+            prop_assert_eq!(stats.non_empty_blocks, 0);
+        } else {
+            prop_assert!(stats.non_empty_blocks >= 1);
+            prop_assert!(stats.max_edges_per_block as f64 >= stats.avg_edges_per_block);
+            let reconstructed = stats.avg_edges_per_block * stats.non_empty_blocks as f64;
+            prop_assert!((reconstructed - stats.edges as f64).abs() < 1e-6);
+        }
+    }
+
+    /// A random mutation sequence applied to the grid matches a naive
+    /// multiset model of the live edge set.
+    #[test]
+    fn dynamic_grid_matches_multiset_model(
+        g in arb_graph(),
+        ops in proptest::collection::vec((0u8..4, 0u32..200, 0u32..200), 0..100),
+    ) {
+        let p = 4u32.min(g.num_vertices());
+        let grid = GridGraph::partition(&g, p).unwrap();
+        let mut dynamic = DynamicGrid::new(grid, 0.3);
+        // Model: multiset of edges + tombstone set.
+        let mut model: Vec<(u32, u32)> =
+            g.iter().map(|e| (e.src.raw(), e.dst.raw())).collect();
+        let mut model_nv = g.num_vertices();
+
+        for (kind, a, b) in ops {
+            match kind {
+                0 => {
+                    let (src, dst) = (a % model_nv, b % model_nv);
+                    prop_assert!(dynamic
+                        .apply(Mutation::AddEdge(Edge::new(src, dst)))
+                        .is_ok());
+                    model.push((src, dst));
+                }
+                1 => {
+                    let (src, dst) = (a % model_nv, b % model_nv);
+                    let expect = model.iter().position(|&e| e == (src, dst));
+                    let got = dynamic.apply(Mutation::RemoveEdge { src, dst });
+                    match expect {
+                        Some(i) => {
+                            prop_assert!(got.is_ok());
+                            model.swap_remove(i);
+                        }
+                        None => prop_assert!(got.is_err()),
+                    }
+                }
+                2 => {
+                    prop_assert!(dynamic.apply(Mutation::AddVertex).is_ok());
+                    model_nv += 1;
+                }
+                _ => {
+                    let v = a % model_nv;
+                    // Tombstoning only marks; edges stay in the multiset.
+                    if v < dynamic.grid().num_vertices() {
+                        prop_assert!(dynamic
+                            .apply(Mutation::RemoveVertex(VertexId::new(v)))
+                            .is_ok());
+                    }
+                }
+            }
+            prop_assert_eq!(dynamic.grid().num_edges(), model.len() as u64);
+        }
+    }
+
+    /// Degrees stay consistent with the live structure under mutations.
+    #[test]
+    fn dynamic_degrees_consistent(g in arb_graph(),
+                                  adds in proptest::collection::vec((0u32..100, 0u32..100), 0..50)) {
+        let p = 4u32.min(g.num_vertices());
+        let grid = GridGraph::partition(&g, p).unwrap();
+        let mut dynamic = DynamicGrid::new(grid, 0.3);
+        for (a, b) in adds {
+            let (src, dst) = (a % g.num_vertices(), b % g.num_vertices());
+            dynamic.apply(Mutation::AddEdge(Edge::new(src, dst))).unwrap();
+        }
+        // Recompute degrees from the grid and compare.
+        let mut expect = vec![0u32; dynamic.grid().num_vertices() as usize];
+        for e in dynamic.grid().iter_edges() {
+            expect[e.src.index()] += 1;
+            expect[e.dst.index()] += 1;
+        }
+        for (v, &d) in expect.iter().enumerate() {
+            prop_assert_eq!(dynamic.degree(VertexId::new(v as u32)), d);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests of the SNAP parser: it never panics on arbitrary
+//! input, and writing any graph then parsing it back is the identity (up to
+//! trailing isolated vertices, which the format cannot express).
+
+use hyve_graph::{io, Edge, EdgeList};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary bytes: parse returns Ok or a line-numbered error, never
+    /// panics.
+    #[test]
+    fn parser_total_on_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        match io::parse(data.as_slice()) {
+            Ok(g) => {
+                // Every parsed edge is within the inferred vertex range.
+                for e in g.iter() {
+                    prop_assert!(e.src.raw() < g.num_vertices());
+                    prop_assert!(e.dst.raw() < g.num_vertices());
+                }
+            }
+            Err(hyve_graph::GraphError::Parse { line, .. }) => {
+                prop_assert!(line >= 1);
+            }
+            Err(other) => prop_assert!(false, "unexpected error kind {other:?}"),
+        }
+    }
+
+    /// Arbitrary ASCII text lines: same totality guarantee on the textual
+    /// subset the format actually meets in the wild.
+    #[test]
+    fn parser_total_on_text(lines in proptest::collection::vec("[ -~]{0,40}", 0..50)) {
+        let text = lines.join("\n");
+        let _ = io::parse(text.as_bytes());
+    }
+
+    /// Write → parse round-trips the edge multiset and weights.
+    #[test]
+    fn write_parse_round_trip(
+        nv in 1u32..200,
+        pairs in proptest::collection::vec((0u32..200, 0u32..200, 0u16..400), 0..200),
+    ) {
+        let mut g = EdgeList::new(nv);
+        g.extend(pairs.iter().map(|&(s, d, w)| {
+            // Quantised weights survive the text round trip exactly.
+            Edge::with_weight(s % nv, d % nv, f32::from(w) / 4.0)
+        }));
+        let mut buf = Vec::new();
+        io::write(&g, &mut buf).expect("write to Vec cannot fail");
+        let parsed = io::parse(buf.as_slice()).expect("own output must parse");
+        prop_assert_eq!(parsed.len(), g.len());
+        for (a, b) in parsed.iter().zip(g.iter()) {
+            prop_assert_eq!(a.src, b.src);
+            prop_assert_eq!(a.dst, b.dst);
+            prop_assert_eq!(a.weight, b.weight);
+        }
+        // Vertex count may shrink to max-referenced + 1, never grow.
+        prop_assert!(parsed.num_vertices() <= g.num_vertices().max(1));
+    }
+
+    /// Comments and blank lines are transparent wherever they appear.
+    #[test]
+    fn comments_are_transparent(seed_lines in proptest::collection::vec(0u8..3, 1..30)) {
+        let mut with_noise = String::new();
+        let mut clean = String::new();
+        let mut edge = 0u32;
+        for kind in seed_lines {
+            match kind {
+                0 => {
+                    let line = format!("{} {}\n", edge, edge + 1);
+                    with_noise.push_str(&line);
+                    clean.push_str(&line);
+                    edge += 1;
+                }
+                1 => with_noise.push_str("# a comment line\n"),
+                _ => with_noise.push('\n'),
+            }
+        }
+        let a = io::parse(with_noise.as_bytes()).expect("noisy parse");
+        let b = io::parse(clean.as_bytes()).expect("clean parse");
+        prop_assert_eq!(a.len(), b.len());
+    }
+}

@@ -1,0 +1,29 @@
+//! # hyve-graphr — the GraphR crossbar-PIM baseline
+//!
+//! GraphR (Song et al., HPCA'18) is the prior ReRAM graph accelerator the
+//! paper compares against (§6, §7.4): graphs are cut into 8×8 blocks, each
+//! block's adjacency sub-matrix is written into a ReRAM crossbar, and a
+//! matrix-vector read computes the updates, with register files holding the
+//! 8 source / 8 destination vertex values.
+//!
+//! The crate provides:
+//!
+//! * [`GraphrEngine`] — functional execution + §6-equation cost accounting,
+//!   producing the same [`RunReport`](hyve_core::RunReport) type as the HyVE
+//!   engine so Fig. 21's delay/energy/EDP ratios fall out directly,
+//! * [`preprocess()`](fn@preprocess) — GraphR's fine-grained 8×8 partitioning (the Fig. 19
+//!   preprocessing-time comparison measures this against HyVE's coarse
+//!   grid),
+//! * [`GraphrDynamic`] — dynamic-graph support over the fine-grained layout
+//!   (Fig. 20).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dynamic;
+pub mod engine;
+pub mod preprocess;
+
+pub use dynamic::GraphrDynamic;
+pub use engine::GraphrEngine;
+pub use preprocess::{preprocess, GraphrLayout};

@@ -1,0 +1,124 @@
+//! Property-based tests for the GraphR baseline: functional equivalence
+//! with the references on arbitrary graphs, cost monotonicity, and layout
+//! invariants under mutation.
+
+use hyve_algorithms::{reference, Bfs, ConnectedComponents, SpMv};
+use hyve_graph::{Csr, Edge, EdgeList, Mutation, VertexId};
+use hyve_graphr::{preprocess, GraphrDynamic, GraphrEngine};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = EdgeList> {
+    (2u32..80).prop_flat_map(|nv| {
+        proptest::collection::vec((0..nv, 0..nv), 1..300).prop_map(move |pairs| {
+            let mut g = EdgeList::new(nv);
+            g.extend(pairs.into_iter().map(|(s, d)| Edge::new(s, d)));
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// GraphR computes the same answers as everything else.
+    #[test]
+    fn graphr_functional_equivalence(g in arb_graph()) {
+        let engine = GraphrEngine::new();
+        let (_, bfs) = engine
+            .run_with_values(&Bfs::new(VertexId::new(0)), &g)
+            .unwrap();
+        let csr = Csr::from_edge_list(&g);
+        prop_assert_eq!(bfs, reference::bfs_levels(&csr, VertexId::new(0)));
+        let (_, cc) = engine
+            .run_with_values(&ConnectedComponents::new(), &g)
+            .unwrap();
+        prop_assert_eq!(cc, reference::connected_components(&g));
+    }
+
+    /// Layout conservation: preprocessing never loses or duplicates edges,
+    /// and Navg is bounded by the block capacity (64).
+    #[test]
+    fn layout_conserves_edges(g in arb_graph()) {
+        let layout = preprocess(&g);
+        prop_assert_eq!(layout.num_edges(), g.len() as u64);
+        let total: usize = layout.iter().map(|(_, v)| v.len()).sum();
+        prop_assert_eq!(total as u64, layout.num_edges());
+        if !g.is_empty() {
+            prop_assert!(layout.navg() >= 1.0);
+            // Multigraphs may exceed the 64 distinct positions of an 8x8
+            // block, so the only universal cap is the edge count itself.
+            prop_assert!(layout.navg() <= g.len() as f64);
+        }
+        // Blocks hold only their own edges.
+        for (&(bx, by), edges) in layout.iter() {
+            for e in edges {
+                prop_assert_eq!(e.src.raw() / 8, bx);
+                prop_assert_eq!(e.dst.raw() / 8, by);
+            }
+        }
+    }
+
+    /// Intra-block edges stay sorted (crossbar row order) under dynamic
+    /// insertion.
+    #[test]
+    fn dynamic_blocks_stay_sorted(
+        g in arb_graph(),
+        adds in proptest::collection::vec((0u32..80, 0u32..80), 0..60),
+    ) {
+        let mut d = GraphrDynamic::new(&g);
+        let nv = g.num_vertices();
+        for (a, b) in adds {
+            d.apply(Mutation::AddEdge(Edge::new(a % nv, b % nv))).unwrap();
+        }
+        for (_, edges) in d.layout().iter() {
+            for pair in edges.windows(2) {
+                let ka = (pair[0].src.raw(), pair[0].dst.raw());
+                let kb = (pair[1].src.raw(), pair[1].dst.raw());
+                prop_assert!(ka <= kb, "block not sorted: {ka:?} > {kb:?}");
+            }
+        }
+    }
+
+    /// GraphR's per-run energy grows with the edge count (crossbar writes
+    /// dominate, Eq. 11).
+    #[test]
+    fn energy_monotone_in_edges(g in arb_graph()) {
+        let engine = GraphrEngine::new();
+        let full = engine.run(&SpMv::new(), &g).unwrap();
+        // Halve the graph.
+        let mut half = EdgeList::new(g.num_vertices());
+        half.extend(g.iter().take(g.len() / 2).copied());
+        if half.is_empty() {
+            return Ok(());
+        }
+        let small = engine.run(&SpMv::new(), &half).unwrap();
+        prop_assert!(small.energy() <= full.energy());
+    }
+
+    /// Mutation sequences keep counts consistent between HyVE's and
+    /// GraphR's dynamic structures (they must agree on what "changed").
+    #[test]
+    fn dynamic_counters_agree_with_hyve(
+        g in arb_graph(),
+        ops in proptest::collection::vec((0u8..2, 0u32..80, 0u32..80), 0..60),
+    ) {
+        use hyve_graph::{DynamicGrid, GridGraph};
+        let nv = g.num_vertices();
+        let p = 4u32.min(nv);
+        let mut hyve = DynamicGrid::new(GridGraph::partition(&g, p).unwrap(), 0.3);
+        let mut graphr = GraphrDynamic::new(&g);
+        for (kind, a, b) in ops {
+            let (src, dst) = (a % nv, b % nv);
+            let m = if kind == 0 {
+                Mutation::AddEdge(Edge::new(src, dst))
+            } else {
+                Mutation::RemoveEdge { src, dst }
+            };
+            let r1 = hyve.apply(m);
+            let r2 = graphr.apply(m);
+            prop_assert_eq!(r1.is_ok(), r2.is_ok());
+        }
+        prop_assert_eq!(hyve.edges_changed(), graphr.edges_changed());
+        prop_assert_eq!(hyve.grid().num_edges(), graphr.layout().num_edges());
+    }
+}

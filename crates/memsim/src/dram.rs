@@ -1,0 +1,347 @@
+//! DDR4 DRAM chip model (the paper used the Micron system power calculator,
+//! default DDR4 configuration, speed grade -093 ⇒ DDR4-2133, tCK = 0.937 ns).
+//!
+//! The model follows the standard IDD-current methodology: dynamic energy of
+//! a burst is the current delta over active-standby times VDD times burst
+//! time; background power is active-standby plus amortised refresh. Random
+//! accesses additionally pay a row activate/precharge cycle, which is the
+//! physical reason the paper routes random vertex traffic to SRAM instead.
+
+use crate::device::{DeviceKind, MemoryDevice};
+use crate::units::{Energy, Power, Time};
+
+/// DDR4 timing parameters (defaults: DDR4-2133, -093 speed grade).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramTimings {
+    /// Clock period.
+    pub t_ck: Time,
+    /// Row cycle time (activate-to-activate, same bank).
+    pub t_rc: Time,
+    /// Row active time.
+    pub t_ras: Time,
+    /// CAS latency (first data out after read command).
+    pub t_cas: Time,
+    /// Refresh cycle time.
+    pub t_rfc: Time,
+    /// Average refresh interval.
+    pub t_refi: Time,
+}
+
+impl Default for DramTimings {
+    fn default() -> Self {
+        DramTimings {
+            t_ck: Time::from_ps(937.0),
+            t_rc: Time::from_ns(46.16),
+            t_ras: Time::from_ns(33.0),
+            t_cas: Time::from_ns(14.06),
+            t_rfc: Time::from_ns(260.0),
+            t_refi: Time::from_us(7.8),
+        }
+    }
+}
+
+/// Configuration of a [`DramChip`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramChipConfig {
+    /// Chip density in gigabits (paper sweeps 4, 8, 16).
+    pub density_gbit: u32,
+    /// Interface width per access in bits (matched to the ReRAM output
+    /// width for the paper's like-for-like comparison).
+    pub output_bits: u32,
+    /// Row (page) size in bits; one activate serves this much sequential data.
+    pub row_bits: u32,
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Activate current IDD0 (mA).
+    pub idd0_ma: f64,
+    /// Precharge-standby current IDD2N (mA).
+    pub idd2n_ma: f64,
+    /// Active-standby current IDD3N (mA).
+    pub idd3n_ma: f64,
+    /// Read-burst current IDD4R (mA).
+    pub idd4r_ma: f64,
+    /// Write-burst current IDD4W (mA).
+    pub idd4w_ma: f64,
+    /// Refresh-burst current IDD5B (mA).
+    pub idd5b_ma: f64,
+    /// Timing parameters.
+    pub timings: DramTimings,
+}
+
+impl Default for DramChipConfig {
+    fn default() -> Self {
+        DramChipConfig {
+            density_gbit: 4,
+            output_bits: 512,
+            row_bits: 8 * 1024 * 8, // 8 KB row
+            vdd: 1.2,
+            idd0_ma: 48.0,
+            idd2n_ma: 34.0,
+            idd3n_ma: 44.0,
+            idd4r_ma: 140.0,
+            idd4w_ma: 130.0,
+            idd5b_ma: 250.0,
+            timings: DramTimings::default(),
+        }
+    }
+}
+
+impl DramChipConfig {
+    /// Default configuration at a given density.
+    pub fn with_density(density_gbit: u32) -> Self {
+        DramChipConfig {
+            density_gbit,
+            ..Default::default()
+        }
+    }
+
+    /// Checks plausibility of the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when densities/widths are zero, currents are
+    /// non-positive, or burst currents do not exceed standby currents.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.density_gbit == 0 {
+            return Err("density must be positive".into());
+        }
+        if self.output_bits == 0 || self.row_bits < self.output_bits {
+            return Err("row must hold at least one access".into());
+        }
+        if self.vdd <= 0.0 {
+            return Err("vdd must be positive".into());
+        }
+        if self.idd4r_ma <= self.idd3n_ma || self.idd4w_ma <= self.idd3n_ma {
+            return Err("burst currents must exceed active standby".into());
+        }
+        if self.idd0_ma <= 0.0 || self.idd2n_ma <= 0.0 || self.idd5b_ma <= 0.0 {
+            return Err("currents must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// A DDR4-style DRAM chip.
+///
+/// ```
+/// use hyve_memsim::{DramChip, DramChipConfig, MemoryDevice};
+/// let chip = DramChip::new(DramChipConfig::default());
+/// // Sequential reads are cheap; random reads repay the activate cycle.
+/// assert!(chip.random_read_energy(512) > chip.read_energy(512));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramChip {
+    config: DramChipConfig,
+    density_factor: f64,
+}
+
+impl DramChip {
+    /// Builds a chip from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use [`DramChip::try_new`].
+    pub fn new(config: DramChipConfig) -> Self {
+        Self::try_new(config).expect("invalid DRAM chip configuration")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DramChipConfig::validate`] failures.
+    pub fn try_new(config: DramChipConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(DramChip {
+            density_factor: f64::from(config.density_gbit) / 4.0,
+            config,
+        })
+    }
+
+    /// The chip's configuration.
+    pub fn config(&self) -> &DramChipConfig {
+        &self.config
+    }
+
+    /// Time occupied on the bus by one output-width burst.
+    pub fn burst_time(&self) -> Time {
+        // DDR: two beats per clock on a 128-bit internal prefetch path.
+        let beats = f64::from(self.config.output_bits) / 128.0;
+        self.config.timings.t_ck * (beats / 2.0).max(1.0)
+    }
+
+    /// Energy of one row activate + precharge cycle.
+    pub fn activate_energy(&self) -> Energy {
+        let t = &self.config.timings;
+        let charge_ma_ns = self.config.idd0_ma * t.t_rc.as_ns()
+            - (self.config.idd3n_ma * t.t_ras.as_ns()
+                + self.config.idd2n_ma * (t.t_rc - t.t_ras).as_ns());
+        Energy::from_pj(charge_ma_ns * self.config.vdd) * self.density_factor.powf(0.3)
+    }
+
+    /// Dynamic energy of one sequential read burst (row already open),
+    /// including the activate energy amortised over a full row of bursts.
+    pub fn burst_read_energy(&self) -> Energy {
+        let delta = self.config.idd4r_ma - self.config.idd3n_ma;
+        let burst = Energy::from_pj(delta * self.config.vdd * self.burst_time().as_ns());
+        let bursts_per_row =
+            f64::from(self.config.row_bits) / f64::from(self.config.output_bits);
+        burst * self.density_factor.powf(0.15) + self.activate_energy() / bursts_per_row
+    }
+
+    /// Dynamic energy of one sequential write burst.
+    pub fn burst_write_energy(&self) -> Energy {
+        let delta = self.config.idd4w_ma - self.config.idd3n_ma;
+        let burst = Energy::from_pj(delta * self.config.vdd * self.burst_time().as_ns());
+        let bursts_per_row =
+            f64::from(self.config.row_bits) / f64::from(self.config.output_bits);
+        burst * self.density_factor.powf(0.15) + self.activate_energy() / bursts_per_row
+    }
+
+    /// Average refresh power: one tRFC burst every tREFI.
+    pub fn refresh_power(&self) -> Power {
+        let t = &self.config.timings;
+        let duty = t.t_rfc / t.t_refi;
+        Power::from_mw(self.config.idd5b_ma * self.config.vdd * duty) * self.density_factor
+    }
+
+    /// Standby (non-refresh) background power.
+    pub fn standby_power(&self) -> Power {
+        Power::from_mw(self.config.idd3n_ma * self.config.vdd)
+            * self.density_factor.powf(0.5)
+    }
+}
+
+impl MemoryDevice for DramChip {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Dram
+    }
+
+    fn capacity_bits(&self) -> u64 {
+        u64::from(self.config.density_gbit) << 30
+    }
+
+    fn read_energy(&self, bits: u64) -> Energy {
+        let accesses = bits.div_ceil(u64::from(self.config.output_bits)).max(1);
+        self.burst_read_energy() * accesses as f64
+    }
+
+    fn write_energy(&self, bits: u64) -> Energy {
+        let accesses = bits.div_ceil(u64::from(self.config.output_bits)).max(1);
+        self.burst_write_energy() * accesses as f64
+    }
+
+    fn read_latency(&self) -> Time {
+        self.config.timings.t_cas + self.burst_time()
+    }
+
+    fn write_latency(&self) -> Time {
+        self.config.timings.t_cas + self.burst_time()
+    }
+
+    fn burst_period(&self) -> Time {
+        self.burst_time()
+    }
+
+    /// Writes into an open row pipeline at burst rate — DRAM's high write
+    /// bandwidth is the reason HyVE chooses it for vertex write-backs.
+    fn sequential_write_period(&self) -> Time {
+        self.burst_time()
+    }
+
+    fn output_bits(&self) -> u32 {
+        self.config.output_bits
+    }
+
+    fn background_power(&self) -> Power {
+        self.standby_power() + self.refresh_power()
+    }
+
+    /// A random access pays a full activate/precharge: large energy *and*
+    /// latency penalty — the reason HyVE never random-accesses DRAM.
+    fn random_access_penalty(&self) -> f64 {
+        let seq = self.burst_read_energy();
+        let random = self.burst_read_energy() + self.activate_energy();
+        random / seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_energy_in_expected_range() {
+        let chip = DramChip::new(DramChipConfig::default());
+        let e = chip.burst_read_energy().as_pj();
+        // (140-44) mA * 1.2 V * ~1.87 ns ≈ 216 pJ plus amortised activate.
+        assert!(e > 150.0 && e < 400.0, "got {e} pJ");
+        let w = chip.burst_write_energy().as_pj();
+        assert!(w > 120.0 && w < 350.0, "got {w} pJ");
+        assert!(w < e, "IDD4W < IDD4R means writes slightly cheaper");
+    }
+
+    #[test]
+    fn sequential_read_beats_reram_on_latency_only() {
+        use crate::reram::{ReramChip, ReramChipConfig};
+        let dram = DramChip::new(DramChipConfig::default());
+        let reram = ReramChip::new(ReramChipConfig::default());
+        // Paper Fig. 9: DRAM lower delay, ReRAM lower energy.
+        assert!(dram.read_latency() < reram.read_latency());
+        assert!(dram.read_energy(512) > reram.read_energy(512));
+    }
+
+    #[test]
+    fn refresh_power_scales_with_density() {
+        let d4 = DramChip::new(DramChipConfig::with_density(4));
+        let d16 = DramChip::new(DramChipConfig::with_density(16));
+        assert!(d16.refresh_power().as_mw() > 3.9 * d4.refresh_power().as_mw());
+        assert!(d16.background_power() > d4.background_power());
+    }
+
+    #[test]
+    fn random_penalty_is_substantial() {
+        let chip = DramChip::new(DramChipConfig::default());
+        assert!(chip.random_access_penalty() > 1.5);
+        assert!(
+            chip.random_read_energy(512).as_pj()
+                > chip.read_energy(512).as_pj() + chip.activate_energy().as_pj() * 0.9
+        );
+    }
+
+    #[test]
+    fn activate_energy_positive_and_sane() {
+        let chip = DramChip::new(DramChipConfig::default());
+        let e = chip.activate_energy().as_pj();
+        assert!(e > 100.0 && e < 1500.0, "got {e} pJ");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = DramChipConfig::default();
+        c.idd4r_ma = 10.0; // below standby
+        assert!(DramChip::try_new(c).is_err());
+
+        let mut c = DramChipConfig::default();
+        c.row_bits = 256; // smaller than access
+        assert!(DramChip::try_new(c).is_err());
+
+        let mut c = DramChipConfig::default();
+        c.density_gbit = 0;
+        assert!(DramChip::try_new(c).is_err());
+    }
+
+    #[test]
+    fn capacity_matches_density() {
+        let chip = DramChip::new(DramChipConfig::with_density(8));
+        assert_eq!(chip.capacity_bits(), 8u64 << 30);
+    }
+
+    #[test]
+    fn burst_time_for_512_bits() {
+        let chip = DramChip::new(DramChipConfig::default());
+        // 512 bits / 128-bit prefetch = 4 beats = 2 clocks ≈ 1.874 ns
+        let t = chip.burst_time().as_ns();
+        assert!((t - 1.874).abs() < 0.01, "got {t} ns");
+    }
+}

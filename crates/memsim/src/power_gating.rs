@@ -1,0 +1,345 @@
+//! Bank-level power gating (BPG) for the nonvolatile edge memory (§4.1).
+//!
+//! Three classic obstacles to power gating are all removed by HyVE's design:
+//! state loss (ReRAM is nonvolatile — nothing to save), frequent transitions
+//! (the edge stream is sequential, so banks wake in order, once per pass),
+//! and gate area (one header/footer per bank suffices because sub-bank —
+//! not bank — interleaving keeps a single bank active at a time).
+//!
+//! Two views are provided:
+//! * [`BankPowerGating`] — closed-form background-energy accounting used by
+//!   the simulator (active banks × leakage × time + transition overheads),
+//! * [`GatingTracker`] — an event-driven tracker that replays an access
+//!   timeline with an idle-timeout policy, used for validation and tests.
+
+use crate::units::{Energy, Power, Time};
+
+/// Parameters of the bank-level power-gating controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerGatingConfig {
+    /// Idle time after the last access before a bank is gated off.
+    pub idle_timeout: Time,
+    /// Latency to wake a gated bank.
+    pub wake_latency: Time,
+    /// Energy to charge the virtual rail on wake-up.
+    pub wake_energy: Energy,
+    /// Energy to drain the rail on sleep.
+    pub sleep_energy: Energy,
+}
+
+impl Default for PowerGatingConfig {
+    fn default() -> Self {
+        PowerGatingConfig {
+            idle_timeout: Time::from_us(1.0),
+            wake_latency: Time::from_ns(100.0),
+            wake_energy: Energy::from_pj(500.0),
+            sleep_energy: Energy::from_pj(120.0),
+        }
+    }
+}
+
+/// Closed-form bank-level power-gating accounting for one chip.
+#[derive(Debug, Clone)]
+pub struct BankPowerGating {
+    config: PowerGatingConfig,
+    banks: u32,
+    bank_leakage: Power,
+}
+
+/// Result of comparing gated and ungated background energy over a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerGatingReport {
+    /// Background energy with gating enabled.
+    pub gated: Energy,
+    /// Background energy with every bank always powered.
+    pub ungated: Energy,
+    /// Number of sleep/wake transition pairs charged.
+    pub transitions: u64,
+    /// Added runtime from wake latencies.
+    pub wake_stall: Time,
+}
+
+impl PowerGatingReport {
+    /// `ungated / gated` improvement factor (∞-safe: returns 1.0 when both
+    /// are zero).
+    pub fn savings_factor(&self) -> f64 {
+        if self.gated == Energy::ZERO {
+            if self.ungated == Energy::ZERO {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.ungated / self.gated
+        }
+    }
+}
+
+impl BankPowerGating {
+    /// Creates a controller for `banks` banks each leaking `bank_leakage`
+    /// when powered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero.
+    pub fn new(config: PowerGatingConfig, banks: u32, bank_leakage: Power) -> Self {
+        assert!(banks > 0, "need at least one bank");
+        BankPowerGating {
+            config,
+            banks,
+            bank_leakage,
+        }
+    }
+
+    /// The gating configuration.
+    pub fn config(&self) -> &PowerGatingConfig {
+        &self.config
+    }
+
+    /// Background energy over `runtime` with **no** gating: all banks leak
+    /// the whole time.
+    pub fn ungated_energy(&self, runtime: Time) -> Energy {
+        self.bank_leakage * f64::from(self.banks) * runtime
+    }
+
+    /// Background energy over `runtime` with gating, given how many
+    /// sequential bank-to-bank transitions the edge stream made and the
+    /// average number of simultaneously active banks (1.0 for a pure
+    /// sequential stream; slightly more while two banks overlap).
+    ///
+    /// Each transition charges wake + sleep energy plus the idle-timeout
+    /// tail during which the previous bank is still powered.
+    pub fn gated_energy(&self, runtime: Time, transitions: u64, active_banks: f64) -> Energy {
+        let steady = self.bank_leakage * active_banks.max(0.0) * runtime;
+        let per_transition = self.config.wake_energy
+            + self.config.sleep_energy
+            + self.bank_leakage * self.config.idle_timeout;
+        steady + per_transition * transitions as f64
+    }
+
+    /// Full report for a run of `runtime` with `transitions` bank switches.
+    pub fn report(&self, runtime: Time, transitions: u64) -> PowerGatingReport {
+        PowerGatingReport {
+            gated: self.gated_energy(runtime, transitions, 1.0),
+            ungated: self.ungated_energy(runtime),
+            transitions,
+            wake_stall: self.config.wake_latency * transitions as f64,
+        }
+    }
+}
+
+/// Event-driven gating tracker: replays `(bank, time)` accesses and applies
+/// the idle-timeout policy exactly.
+#[derive(Debug, Clone)]
+pub struct GatingTracker {
+    config: PowerGatingConfig,
+    bank_leakage: Power,
+    /// Per-bank time of last access, `None` when the bank is gated off.
+    last_access: Vec<Option<Time>>,
+    powered_energy: Energy,
+    transitions: u64,
+    now: Time,
+}
+
+impl GatingTracker {
+    /// Creates a tracker for `banks` banks, all initially gated off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero.
+    pub fn new(config: PowerGatingConfig, banks: u32, bank_leakage: Power) -> Self {
+        assert!(banks > 0, "need at least one bank");
+        GatingTracker {
+            config,
+            bank_leakage,
+            last_access: vec![None; banks as usize],
+            powered_energy: Energy::ZERO,
+            transitions: 0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// Records an access to `bank` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range or `at` precedes the previous event
+    /// (the timeline must be monotonic).
+    pub fn access(&mut self, bank: u32, at: Time) {
+        assert!(at >= self.now, "timeline must be monotonic");
+        self.settle_until(at);
+        let slot = &mut self.last_access[bank as usize];
+        if slot.is_none() {
+            // Wake-up: charge rail energy.
+            self.powered_energy += self.config.wake_energy;
+            self.transitions += 1;
+        }
+        *slot = Some(at);
+    }
+
+    /// Advances time to `at`, accruing leakage for powered banks and gating
+    /// off banks whose idle timeout expired.
+    fn settle_until(&mut self, at: Time) {
+        let timeout = self.config.idle_timeout;
+        for slot in &mut self.last_access {
+            if let Some(last) = *slot {
+                let gate_at = last + timeout;
+                if gate_at <= at {
+                    // Powered from `now` until gate_at, then off.
+                    let powered = (gate_at - self.now).max(Time::ZERO);
+                    self.powered_energy +=
+                        self.bank_leakage * powered + self.config.sleep_energy;
+                    *slot = None;
+                } else {
+                    self.powered_energy += self.bank_leakage * (at - self.now);
+                }
+            }
+        }
+        self.now = at;
+    }
+
+    /// Finishes the timeline at `end` and returns total background energy.
+    pub fn finish(mut self, end: Time) -> (Energy, u64) {
+        self.settle_until(end);
+        // Remaining powered banks sleep at the end of the run.
+        for slot in &mut self.last_access {
+            if slot.take().is_some() {
+                self.powered_energy += self.config.sleep_energy;
+            }
+        }
+        (self.powered_energy, self.transitions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gating() -> BankPowerGating {
+        BankPowerGating::new(PowerGatingConfig::default(), 8, Power::from_mw(1.6))
+    }
+
+    #[test]
+    fn ungated_counts_all_banks() {
+        let g = gating();
+        let e = g.ungated_energy(Time::from_ms(1.0));
+        // 8 banks * 1.6 mW * 1 ms = 12.8 uJ
+        assert!((e.as_uj() - 12.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gated_with_one_active_bank_saves_roughly_bank_count() {
+        let g = gating();
+        let runtime = Time::from_ms(10.0);
+        let report = g.report(runtime, 8);
+        assert!(report.gated < report.ungated);
+        let f = report.savings_factor();
+        // With rare transitions the saving approaches the bank count (8).
+        assert!(f > 6.0 && f <= 8.0, "got factor {f}");
+    }
+
+    #[test]
+    fn many_transitions_erode_savings() {
+        let g = gating();
+        let runtime = Time::from_us(100.0);
+        let rare = g.report(runtime, 1).savings_factor();
+        let frequent = g.report(runtime, 1000).savings_factor();
+        assert!(frequent < rare);
+    }
+
+    #[test]
+    fn zero_runtime_zero_transitions() {
+        let g = gating();
+        let r = g.report(Time::ZERO, 0);
+        assert_eq!(r.gated, Energy::ZERO);
+        assert_eq!(r.ungated, Energy::ZERO);
+        assert_eq!(r.savings_factor(), 1.0);
+    }
+
+    #[test]
+    fn wake_stall_accumulates() {
+        let g = gating();
+        let r = g.report(Time::from_ms(1.0), 5);
+        assert!((r.wake_stall.as_ns() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracker_single_bank_sequence() {
+        let cfg = PowerGatingConfig {
+            idle_timeout: Time::from_ns(100.0),
+            wake_latency: Time::from_ns(10.0),
+            wake_energy: Energy::from_pj(10.0),
+            sleep_energy: Energy::from_pj(5.0),
+        };
+        let leak = Power::from_mw(1.0); // 1 pJ/ns
+        let mut t = GatingTracker::new(cfg, 4, leak);
+        t.access(0, Time::ZERO);
+        t.access(0, Time::from_ns(50.0));
+        let (energy, transitions) = t.finish(Time::from_ns(1000.0));
+        assert_eq!(transitions, 1);
+        // Powered 0..150 ns (last access at 50 + timeout 100) = 150 pJ leak
+        // + 10 pJ wake + 5 pJ sleep.
+        assert!((energy.as_pj() - 165.0).abs() < 1e-9, "got {}", energy.as_pj());
+    }
+
+    #[test]
+    fn tracker_bank_handoff_counts_two_transitions() {
+        let cfg = PowerGatingConfig {
+            idle_timeout: Time::from_ns(100.0),
+            wake_latency: Time::from_ns(10.0),
+            wake_energy: Energy::from_pj(10.0),
+            sleep_energy: Energy::from_pj(5.0),
+        };
+        let leak = Power::from_mw(1.0);
+        let mut t = GatingTracker::new(cfg, 2, leak);
+        t.access(0, Time::ZERO);
+        t.access(1, Time::from_ns(500.0)); // bank 0 gated at 100 ns
+        let (energy, transitions) = t.finish(Time::from_ns(700.0));
+        assert_eq!(transitions, 2);
+        // Each bank leaks for its 100 ns idle timeout after the single
+        // access, then gates off; plus wake + sleep per bank.
+        assert!((energy.as_pj() - (100.0 + 100.0 + 2.0 * 15.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracker_matches_closed_form_for_sequential_stream() {
+        let cfg = PowerGatingConfig::default();
+        let leak = Power::from_mw(1.6);
+        let banks = 8u32;
+        let g = BankPowerGating::new(cfg.clone(), banks, leak);
+
+        // Sequential stream touching banks 0..8 back to back, each for 1 ms.
+        let mut t = GatingTracker::new(cfg.clone(), banks, leak);
+        let per_bank = Time::from_ms(1.0);
+        for b in 0..banks {
+            let start = per_bank * f64::from(b);
+            // Accesses every 0.5 us (inside the 1 us idle timeout) keep the
+            // bank alive for its whole window.
+            let mut at = start;
+            while at < start + per_bank {
+                t.access(b, at);
+                at += Time::from_us(0.5);
+            }
+        }
+        let total = per_bank * f64::from(banks);
+        let (tracked, transitions) = t.finish(total);
+        assert_eq!(transitions, u64::from(banks));
+        let closed = g.gated_energy(total, u64::from(banks), 1.0);
+        let rel = (tracked.as_pj() - closed.as_pj()).abs() / closed.as_pj();
+        assert!(rel < 0.05, "tracker {tracked} vs closed form {closed}");
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn tracker_rejects_time_travel() {
+        let mut t = GatingTracker::new(PowerGatingConfig::default(), 2, Power::from_mw(1.0));
+        t.access(0, Time::from_ns(100.0));
+        t.access(1, Time::from_ns(50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_panics() {
+        let _ = BankPowerGating::new(PowerGatingConfig::default(), 0, Power::ZERO);
+    }
+}

@@ -1,0 +1,131 @@
+//! Register-file model — GraphR's local vertex storage.
+//!
+//! §6.3 of the paper quotes the numbers used here verbatim: a 32-bit read
+//! costs 11.976 ps and 1.227 pJ; a 32-bit write costs 10.563 ps and
+//! 1.209 pJ. Register files are far faster and cheaper per access than
+//! SRAM, but their tiny capacity forces GraphR to divide graphs into 8×8
+//! blocks — which is what loses it the overall comparison (Fig. 11).
+
+use crate::device::{DeviceKind, MemoryDevice};
+use crate::units::{Energy, Power, Time};
+
+/// A small register file of 32-bit entries.
+///
+/// ```
+/// use hyve_memsim::{RegisterFile, MemoryDevice};
+/// let rf = RegisterFile::new(16);
+/// assert!((rf.read_energy(32).as_pj() - 1.227).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterFile {
+    entries: u32,
+}
+
+impl RegisterFile {
+    /// Word width of every entry.
+    pub const WORD_BITS: u32 = 32;
+
+    /// Creates a register file with the given number of 32-bit entries.
+    ///
+    /// GraphR uses 8 source + 8 destination registers per crossbar, so 16 is
+    /// the natural size there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: u32) -> Self {
+        assert!(entries > 0, "register file must have at least one entry");
+        RegisterFile { entries }
+    }
+
+    /// Number of entries.
+    pub fn entries(&self) -> u32 {
+        self.entries
+    }
+}
+
+impl Default for RegisterFile {
+    /// GraphR's 8 + 8 layout.
+    fn default() -> Self {
+        RegisterFile::new(16)
+    }
+}
+
+impl MemoryDevice for RegisterFile {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::RegisterFile
+    }
+
+    fn capacity_bits(&self) -> u64 {
+        u64::from(self.entries) * u64::from(Self::WORD_BITS)
+    }
+
+    fn read_energy(&self, bits: u64) -> Energy {
+        let words = bits.div_ceil(u64::from(Self::WORD_BITS)).max(1);
+        Energy::from_pj(1.227) * words as f64
+    }
+
+    fn write_energy(&self, bits: u64) -> Energy {
+        let words = bits.div_ceil(u64::from(Self::WORD_BITS)).max(1);
+        Energy::from_pj(1.209) * words as f64
+    }
+
+    fn read_latency(&self) -> Time {
+        Time::from_ps(11.976)
+    }
+
+    fn write_latency(&self) -> Time {
+        Time::from_ps(10.563)
+    }
+
+    fn output_bits(&self) -> u32 {
+        Self::WORD_BITS
+    }
+
+    /// Flip-flop leakage, negligible at this size but nonzero.
+    fn background_power(&self) -> Power {
+        Power::from_uw(0.5 * f64::from(self.entries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_match_paper() {
+        let rf = RegisterFile::default();
+        assert!((rf.read_energy(32).as_pj() - 1.227).abs() < 1e-12);
+        assert!((rf.write_energy(32).as_pj() - 1.209).abs() < 1e-12);
+        assert!((rf.read_latency().as_ps() - 11.976).abs() < 1e-12);
+        assert!((rf.write_latency().as_ps() - 10.563).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_and_cheaper_than_sram_per_access() {
+        use crate::sram::{SramArray, SramConfig};
+        let rf = RegisterFile::default();
+        let sram = SramArray::new(SramConfig::default());
+        assert!(rf.read_energy(32) < sram.read_energy(32));
+        assert!(rf.read_latency() < sram.read_latency());
+    }
+
+    #[test]
+    fn default_is_graphr_layout() {
+        assert_eq!(RegisterFile::default().entries(), 16);
+        assert_eq!(RegisterFile::default().capacity_bits(), 16 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_panics() {
+        let _ = RegisterFile::new(0);
+    }
+
+    #[test]
+    fn multi_word_rounding() {
+        let rf = RegisterFile::default();
+        assert!((rf.read_energy(64).as_pj() - 2.0 * 1.227).abs() < 1e-12);
+        assert!((rf.write_energy(40).as_pj() - 2.0 * 1.209).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,351 @@
+//! Access-trace replay: cost an explicit stream of memory operations
+//! against any device model.
+//!
+//! The HyVE engine computes costs analytically from operation *counts*; this
+//! module provides the complementary microscopic view — replay a concrete
+//! [`AccessTrace`] through a [`MemoryDevice`] and accumulate energy, time
+//! and (optionally) bank-gating state. The two views must agree on aggregate
+//! streams, which the tests check; downstream users get a tool for costing
+//! arbitrary access patterns the engine doesn't generate.
+
+use crate::counters::AccessStats;
+use crate::device::MemoryDevice;
+use crate::power_gating::{GatingTracker, PowerGatingConfig};
+use crate::units::{Energy, Power, Time};
+
+/// One memory operation in a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Sequential read of `bits` (row-buffer / stream friendly).
+    Read {
+        /// Bits transferred.
+        bits: u64,
+    },
+    /// Sequential write of `bits`.
+    Write {
+        /// Bits transferred.
+        bits: u64,
+    },
+    /// Random read of `bits` (pays the device's random penalty).
+    RandomRead {
+        /// Bits transferred.
+        bits: u64,
+    },
+    /// Random write of `bits`.
+    RandomWrite {
+        /// Bits transferred.
+        bits: u64,
+    },
+    /// Idle gap of the given duration (accrues background energy only).
+    Idle {
+        /// Gap length.
+        duration: Time,
+    },
+}
+
+/// A sequence of operations, replayable against any device.
+///
+/// ```
+/// use hyve_memsim::trace::{AccessTrace, Op};
+/// use hyve_memsim::{ReramChip, ReramChipConfig, Time};
+///
+/// let mut trace = AccessTrace::new();
+/// trace.push(Op::Read { bits: 512 });
+/// trace.push(Op::Idle { duration: Time::from_us(1.0) });
+/// trace.push(Op::Write { bits: 512 });
+/// let chip = ReramChip::new(ReramChipConfig::default());
+/// let replay = trace.replay(&chip);
+/// assert_eq!(replay.stats.reads, 1);
+/// assert_eq!(replay.stats.writes, 1);
+/// assert!(replay.elapsed > Time::from_us(1.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AccessTrace {
+    ops: Vec<Op>,
+}
+
+/// Result of replaying a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Replay {
+    /// Access counters with dynamic + background energy filled in.
+    pub stats: AccessStats,
+    /// Total elapsed time.
+    pub elapsed: Time,
+}
+
+impl Replay {
+    /// Total energy (dynamic + background).
+    pub fn energy(&self) -> Energy {
+        self.stats.total_energy()
+    }
+
+    /// Average power over the replay.
+    pub fn avg_power(&self) -> Power {
+        if self.elapsed == Time::ZERO {
+            Power::ZERO
+        } else {
+            self.energy() / self.elapsed
+        }
+    }
+}
+
+impl AccessTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the trace has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations as a slice.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Builds a pure sequential-read trace of `total_bits` in
+    /// `bits_per_op`-sized operations — the edge-memory pattern.
+    pub fn sequential_read(total_bits: u64, bits_per_op: u64) -> Self {
+        assert!(bits_per_op > 0, "operation size must be positive");
+        let mut trace = AccessTrace::new();
+        let mut remaining = total_bits;
+        while remaining > 0 {
+            let bits = remaining.min(bits_per_op);
+            trace.push(Op::Read { bits });
+            remaining -= bits;
+        }
+        trace
+    }
+
+    /// Replays against a device, accumulating per-op costs and background
+    /// energy over the total elapsed time.
+    pub fn replay<D: MemoryDevice + ?Sized>(&self, device: &D) -> Replay {
+        let mut stats = AccessStats::new();
+        let mut elapsed = Time::ZERO;
+        for op in &self.ops {
+            match *op {
+                Op::Read { bits } => {
+                    let t = device.burst_period()
+                        * bits.div_ceil(u64::from(device.output_bits())).max(1) as f64;
+                    stats.record_read(bits, device.read_energy(bits), t);
+                    elapsed += t;
+                }
+                Op::Write { bits } => {
+                    let t = device.sequential_write_period()
+                        * bits.div_ceil(u64::from(device.output_bits())).max(1) as f64;
+                    stats.record_write(bits, device.write_energy(bits), t);
+                    elapsed += t;
+                }
+                Op::RandomRead { bits } => {
+                    let t = device.read_latency();
+                    stats.record_read(bits, device.random_read_energy(bits), t);
+                    elapsed += t;
+                }
+                Op::RandomWrite { bits } => {
+                    let t = device.write_latency();
+                    stats.record_write(bits, device.random_write_energy(bits), t);
+                    elapsed += t;
+                }
+                Op::Idle { duration } => {
+                    elapsed += duration;
+                }
+            }
+        }
+        stats.record_background(device.background_power() * elapsed);
+        Replay { stats, elapsed }
+    }
+
+    /// Replays against a banked device with bank-level power gating: ops are
+    /// spread sequentially over `banks` banks of `bank_bits` capacity, and
+    /// background energy comes from the gating tracker instead of the
+    /// always-on device figure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` or `bank_bits` is zero.
+    pub fn replay_gated<D: MemoryDevice + ?Sized>(
+        &self,
+        device: &D,
+        banks: u32,
+        bank_bits: u64,
+        bank_leakage: Power,
+        config: PowerGatingConfig,
+    ) -> Replay {
+        assert!(banks > 0 && bank_bits > 0, "degenerate bank layout");
+        let mut stats = AccessStats::new();
+        let mut tracker = GatingTracker::new(config, banks, bank_leakage);
+        let mut elapsed = Time::ZERO;
+        let mut offset_bits = 0u64;
+        for op in &self.ops {
+            match *op {
+                Op::Read { bits } | Op::RandomRead { bits } => {
+                    let bank = ((offset_bits / bank_bits) % u64::from(banks)) as u32;
+                    tracker.access(bank, elapsed);
+                    let t = device.burst_period()
+                        * bits.div_ceil(u64::from(device.output_bits())).max(1) as f64;
+                    stats.record_read(bits, device.read_energy(bits), t);
+                    elapsed += t;
+                    offset_bits += bits;
+                }
+                Op::Write { bits } | Op::RandomWrite { bits } => {
+                    let bank = ((offset_bits / bank_bits) % u64::from(banks)) as u32;
+                    tracker.access(bank, elapsed);
+                    let t = device.sequential_write_period()
+                        * bits.div_ceil(u64::from(device.output_bits())).max(1) as f64;
+                    stats.record_write(bits, device.write_energy(bits), t);
+                    elapsed += t;
+                    offset_bits += bits;
+                }
+                Op::Idle { duration } => {
+                    elapsed += duration;
+                }
+            }
+        }
+        let (background, _transitions) = tracker.finish(elapsed);
+        stats.record_background(background);
+        Replay { stats, elapsed }
+    }
+}
+
+impl FromIterator<Op> for AccessTrace {
+    fn from_iter<I: IntoIterator<Item = Op>>(iter: I) -> Self {
+        AccessTrace {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Op> for AccessTrace {
+    fn extend<I: IntoIterator<Item = Op>>(&mut self, iter: I) {
+        self.ops.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::{DramChip, DramChipConfig};
+    use crate::reram::{ReramChip, ReramChipConfig};
+
+    #[test]
+    fn sequential_read_builder_covers_all_bits() {
+        let t = AccessTrace::sequential_read(1300, 512);
+        assert_eq!(t.len(), 3);
+        let total: u64 = t
+            .ops()
+            .iter()
+            .map(|op| match op {
+                Op::Read { bits } => *bits,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 1300);
+    }
+
+    #[test]
+    fn replay_matches_device_unit_costs() {
+        let chip = ReramChip::new(ReramChipConfig::default());
+        let mut t = AccessTrace::new();
+        t.push(Op::Read { bits: 512 });
+        t.push(Op::Read { bits: 512 });
+        let r = t.replay(&chip);
+        assert_eq!(r.stats.reads, 2);
+        let expect_dyn = chip.read_energy(512) * 2.0;
+        assert!((r.stats.dynamic_energy.as_pj() - expect_dyn.as_pj()).abs() < 1e-9);
+        let expect_t = chip.burst_period() * 2.0;
+        assert!((r.elapsed.as_ns() - expect_t.as_ns()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_gaps_accrue_background_only() {
+        let chip = DramChip::new(DramChipConfig::default());
+        let mut t = AccessTrace::new();
+        t.push(Op::Idle {
+            duration: Time::from_us(10.0),
+        });
+        let r = t.replay(&chip);
+        assert_eq!(r.stats.accesses(), 0);
+        assert_eq!(r.stats.dynamic_energy, Energy::ZERO);
+        let expect = chip.background_power() * Time::from_us(10.0);
+        assert!((r.stats.background_energy.as_pj() - expect.as_pj()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn random_ops_cost_more_than_sequential() {
+        let chip = DramChip::new(DramChipConfig::default());
+        let mut seq = AccessTrace::new();
+        seq.push(Op::Read { bits: 512 });
+        let mut rnd = AccessTrace::new();
+        rnd.push(Op::RandomRead { bits: 512 });
+        assert!(rnd.replay(&chip).stats.dynamic_energy > seq.replay(&chip).stats.dynamic_energy);
+        assert!(rnd.replay(&chip).elapsed > seq.replay(&chip).elapsed);
+    }
+
+    #[test]
+    fn gated_replay_beats_ungated_on_sequential_streams() {
+        let chip = ReramChip::new(ReramChipConfig::default());
+        // A long stream with idle tails: gating pays off.
+        let mut t = AccessTrace::sequential_read(1 << 20, 512);
+        t.push(Op::Idle {
+            duration: Time::from_ms(1.0),
+        });
+        let plain = t.replay(&chip);
+        let gated = t.replay_gated(
+            &chip,
+            chip.banks(),
+            chip.capacity_bits() / u64::from(chip.banks()),
+            chip.bank_leakage(),
+            PowerGatingConfig::default(),
+        );
+        assert!(gated.energy() < plain.energy());
+        assert_eq!(gated.stats.reads, plain.stats.reads);
+        assert_eq!(gated.elapsed, plain.elapsed);
+    }
+
+    #[test]
+    fn replay_agrees_with_engine_style_aggregate() {
+        // The analytic aggregate (accesses × unit cost) must equal the
+        // microscopic replay for a uniform stream.
+        let chip = ReramChip::new(ReramChipConfig::default());
+        let bits = 1u64 << 16;
+        let t = AccessTrace::sequential_read(bits, 512);
+        let r = t.replay(&chip);
+        let analytic_dyn = chip.read_energy(bits);
+        assert!(
+            (r.stats.dynamic_energy.as_pj() - analytic_dyn.as_pj()).abs()
+                / analytic_dyn.as_pj()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let t: AccessTrace = (0..4).map(|_| Op::Read { bits: 64 }).collect();
+        assert_eq!(t.len(), 4);
+        let mut t2 = AccessTrace::new();
+        t2.extend(t.ops().iter().copied());
+        assert_eq!(t, t2);
+        assert!(!t2.is_empty());
+    }
+
+    #[test]
+    fn avg_power_is_energy_over_time() {
+        let chip = DramChip::new(DramChipConfig::default());
+        let t = AccessTrace::sequential_read(1 << 15, 512);
+        let r = t.replay(&chip);
+        let p = r.avg_power();
+        assert!((p.as_mw() - (r.energy() / r.elapsed).as_mw()).abs() < 1e-9);
+    }
+}

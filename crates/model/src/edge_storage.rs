@@ -1,0 +1,148 @@
+//! §6.2 — DRAM vs ReRAM as the (large, sequential) edge storage (Fig. 9).
+//!
+//! The comparison streams a fixed working set through each device with a
+//! given read/write mix, counting dynamic energy plus the background energy
+//! accrued over the stream's duration, with both devices configured at the
+//! same output width and density.
+
+use hyve_memsim::{
+    DramChip, DramChipConfig, Energy, MemoryDevice, ReramChip, ReramChipConfig, Time,
+};
+
+/// Access mix for the Fig. 9 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    /// 100% sequential reads (the edge-memory pattern).
+    SequentialRead,
+    /// 100% sequential writes (preprocessing / initialisation).
+    SequentialWrite,
+    /// 50% reads, 50% writes.
+    Mixed,
+}
+
+impl AccessPattern {
+    /// Fraction of accesses that are reads.
+    pub fn read_fraction(self) -> f64 {
+        match self {
+            AccessPattern::SequentialRead => 1.0,
+            AccessPattern::SequentialWrite => 0.0,
+            AccessPattern::Mixed => 0.5,
+        }
+    }
+
+    /// All three patterns in Fig. 9's order.
+    pub fn all() -> [AccessPattern; 3] {
+        [
+            AccessPattern::SequentialRead,
+            AccessPattern::SequentialWrite,
+            AccessPattern::Mixed,
+        ]
+    }
+}
+
+/// DRAM-over-ReRAM ratios for one pattern/density point of Fig. 9.
+/// Values < 1 favour DRAM, > 1 favour ReRAM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalizedComparison {
+    /// `delay(DRAM) / delay(ReRAM)`.
+    pub delay_ratio: f64,
+    /// `energy(DRAM) / energy(ReRAM)`.
+    pub energy_ratio: f64,
+    /// `EDP(DRAM) / EDP(ReRAM)`.
+    pub edp_ratio: f64,
+}
+
+/// Streams `total_bits` with the given mix through one device and returns
+/// (time, energy incl. background).
+fn stream_cost<D: MemoryDevice>(dev: &D, total_bits: u64, pattern: AccessPattern) -> (Time, Energy) {
+    let rf = pattern.read_fraction();
+    let read_bits = (total_bits as f64 * rf) as u64;
+    let write_bits = total_bits - read_bits;
+    let out = u64::from(dev.output_bits());
+    let read_accesses = read_bits.div_ceil(out);
+    let write_accesses = write_bits.div_ceil(out);
+    let time = dev.burst_period() * read_accesses as f64
+        + dev.sequential_write_period() * write_accesses as f64
+        + if read_accesses > 0 { dev.read_latency() } else { Time::ZERO };
+    let dynamic = dev.read_energy(read_bits.max(u64::from(read_bits > 0)))
+        * f64::from(u8::from(read_bits > 0))
+        + dev.write_energy(write_bits.max(u64::from(write_bits > 0)))
+            * f64::from(u8::from(write_bits > 0));
+    let energy = dynamic + dev.background_power() * time;
+    (time, energy)
+}
+
+/// Fig. 9: compares DRAM against ReRAM at a density for one access pattern,
+/// streaming a 1 Gbit working set.
+///
+/// ```
+/// use hyve_model::{compare_edge_storage, AccessPattern};
+/// let c = compare_edge_storage(4, AccessPattern::SequentialRead);
+/// // Paper: DRAM is faster (ratio < 1) but ReRAM wins energy and EDP.
+/// assert!(c.delay_ratio < 1.0);
+/// assert!(c.energy_ratio > 1.0);
+/// assert!(c.edp_ratio > 1.0);
+/// ```
+pub fn compare_edge_storage(density_gbit: u32, pattern: AccessPattern) -> NormalizedComparison {
+    let bits: u64 = 1 << 30;
+    let dram = DramChip::new(DramChipConfig::with_density(density_gbit));
+    let reram = ReramChip::new(ReramChipConfig::with_density(density_gbit));
+    let (td, ed) = stream_cost(&dram, bits, pattern);
+    let (tr, er) = stream_cost(&reram, bits, pattern);
+    NormalizedComparison {
+        delay_ratio: td / tr,
+        energy_ratio: ed / er,
+        edp_ratio: (td.as_ns() * ed.as_pj()) / (tr.as_ns() * er.as_pj()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_read_favors_reram_on_energy() {
+        for density in [4, 8, 16] {
+            let c = compare_edge_storage(density, AccessPattern::SequentialRead);
+            assert!(c.delay_ratio < 1.0, "DRAM must be faster at {density} Gb");
+            assert!(c.energy_ratio > 1.0, "ReRAM must be cheaper at {density} Gb");
+            assert!(c.edp_ratio > 1.0, "ReRAM must win EDP at {density} Gb");
+        }
+    }
+
+    #[test]
+    fn sequential_write_favors_dram() {
+        let c = compare_edge_storage(4, AccessPattern::SequentialWrite);
+        // The 10 ns set pulse makes ReRAM writes slow: DRAM wins delay by a
+        // lot, and with it EDP.
+        assert!(c.delay_ratio < 0.5);
+        assert!(c.edp_ratio < 1.0);
+    }
+
+    #[test]
+    fn reram_energy_advantage_grows_with_density() {
+        let e4 = compare_edge_storage(4, AccessPattern::SequentialRead).energy_ratio;
+        let e16 = compare_edge_storage(16, AccessPattern::SequentialRead).energy_ratio;
+        assert!(
+            e16 > e4,
+            "refresh/standby growth must widen the gap: {e4} -> {e16}"
+        );
+    }
+
+    #[test]
+    fn mixed_sits_between_extremes() {
+        let read = compare_edge_storage(4, AccessPattern::SequentialRead);
+        let write = compare_edge_storage(4, AccessPattern::SequentialWrite);
+        let mixed = compare_edge_storage(4, AccessPattern::Mixed);
+        assert!(mixed.edp_ratio < read.edp_ratio);
+        assert!(mixed.edp_ratio > write.edp_ratio);
+    }
+
+    #[test]
+    fn read_fractions() {
+        assert_eq!(AccessPattern::SequentialRead.read_fraction(), 1.0);
+        assert_eq!(AccessPattern::SequentialWrite.read_fraction(), 0.0);
+        assert_eq!(AccessPattern::Mixed.read_fraction(), 0.5);
+        assert_eq!(AccessPattern::all().len(), 3);
+    }
+}

@@ -1,0 +1,227 @@
+//! The general model of §6.1: equations (1), (2), (5) and the
+//! Cauchy–Schwarz lower bound (6).
+//!
+//! Notation (subscripts as in the paper):
+//!
+//! * `(v,s)` — sequential vertex access, `(v,r)` — random vertex access,
+//! * `e` — edge access, `pu` — processing-unit operation,
+//! * superscripts R/W — read/write.
+//!
+//! Eq. (3)–(4) tie the counts together: every edge traversal randomly reads
+//! the source and destination locally and randomly writes the destination,
+//! so `N(v,r) read = N(v,r) write = Ne`.
+
+use hyve_memsim::{Energy, EnergyDelay, Time};
+
+/// A (time, energy) pair for one operation class.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostTerm {
+    /// Time of one operation.
+    pub time: Time,
+    /// Energy of one operation.
+    pub energy: Energy,
+}
+
+impl CostTerm {
+    /// Creates a term.
+    pub fn new(time: Time, energy: Energy) -> Self {
+        CostTerm { time, energy }
+    }
+
+    /// The term's contribution to the Eq. (6) bound: √(T·E).
+    pub fn geometric_mean(&self) -> f64 {
+        (self.time.as_ns() * self.energy.as_pj()).sqrt()
+    }
+}
+
+/// Operation counts of a workload (one full execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GraphWorkload {
+    /// Sequential vertex reads `NR(v,s)` (interval loading).
+    pub seq_vertex_reads: u64,
+    /// Sequential vertex writes `NW(v,s)` (interval write-back; Eq. 7: Nv).
+    pub seq_vertex_writes: u64,
+    /// Edge reads `NR(e)` (each edge streamed once per iteration).
+    pub edge_reads: u64,
+}
+
+impl GraphWorkload {
+    /// Random local vertex reads, per Eq. (3): one source + one destination
+    /// read per edge ⇒ the *count* `NR(v,r) = NR(e)` (the energy model
+    /// charges the pair via the factor 2 in Eq. 2).
+    pub fn random_vertex_reads(&self) -> u64 {
+        self.edge_reads
+    }
+
+    /// Random local vertex writes, per Eq. (4).
+    pub fn random_vertex_writes(&self) -> u64 {
+        self.edge_reads
+    }
+}
+
+/// Per-operation costs for all six classes of Eq. (1)/(2).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ModelCosts {
+    /// Sequential vertex read (global memory).
+    pub seq_vertex_read: CostTerm,
+    /// Sequential vertex write (global memory).
+    pub seq_vertex_write: CostTerm,
+    /// Random vertex read (local memory).
+    pub rand_vertex_read: CostTerm,
+    /// Random vertex write (local memory).
+    pub rand_vertex_write: CostTerm,
+    /// Edge read (edge memory).
+    pub edge_read: CostTerm,
+    /// Processing one edge.
+    pub processing: CostTerm,
+}
+
+impl ModelCosts {
+    /// Eq. (1): total execution time. The four per-edge stages (edge read,
+    /// local vertex read, processing, local vertex write) pipeline, so each
+    /// edge costs the *maximum* stage time; sequential transfers bracket the
+    /// pipeline.
+    pub fn execution_time(&self, w: &GraphWorkload) -> Time {
+        let pipeline = self
+            .rand_vertex_read
+            .time
+            .max(self.edge_read.time)
+            .max(self.processing.time)
+            .max(self.rand_vertex_write.time);
+        self.seq_vertex_read.time * w.seq_vertex_reads as f64
+            + pipeline * w.edge_reads as f64
+            + self.seq_vertex_write.time * w.seq_vertex_writes as f64
+    }
+
+    /// Eq. (1)'s analytical lower bound: `max(...) ≥ (a+b+c+d)/4`.
+    pub fn execution_time_lower_bound(&self, w: &GraphWorkload) -> Time {
+        let quarter = (self.rand_vertex_read.time
+            + self.edge_read.time
+            + self.processing.time
+            + self.rand_vertex_write.time)
+            / 4.0;
+        self.seq_vertex_read.time * w.seq_vertex_reads as f64
+            + quarter * w.edge_reads as f64
+            + self.seq_vertex_write.time * w.seq_vertex_writes as f64
+    }
+
+    /// Eq. (2): total energy. Random vertex reads appear with factor 2
+    /// (source and destination are both read per edge).
+    pub fn energy(&self, w: &GraphWorkload) -> Energy {
+        self.seq_vertex_read.energy * w.seq_vertex_reads as f64
+            + self.rand_vertex_read.energy * (2 * w.random_vertex_reads()) as f64
+            + self.edge_read.energy * w.edge_reads as f64
+            + self.processing.energy * w.edge_reads as f64
+            + self.rand_vertex_write.energy * w.random_vertex_writes() as f64
+            + self.seq_vertex_write.energy * w.seq_vertex_writes as f64
+    }
+
+    /// Eq. (5): energy-delay product.
+    pub fn edp(&self, w: &GraphWorkload) -> EnergyDelay {
+        self.energy(w) * self.execution_time(w)
+    }
+
+    /// Eq. (6): the Cauchy–Schwarz lower bound on T·E, in pJ·ns. Minimising
+    /// EDP means minimising each √(T·E) term — which decouples the design
+    /// into edge storage, vertex storage and processing-unit choices.
+    pub fn edp_lower_bound(&self, w: &GraphWorkload) -> EnergyDelay {
+        let ne = w.edge_reads as f64;
+        let sum = w.seq_vertex_reads as f64 * self.seq_vertex_read.geometric_mean()
+            + (2.0f64.sqrt() / 2.0) * ne * self.rand_vertex_read.geometric_mean()
+            + 0.5 * ne * self.edge_read.geometric_mean()
+            + 0.5 * ne * self.processing.geometric_mean()
+            + 0.5 * ne * self.rand_vertex_write.geometric_mean()
+            + w.seq_vertex_writes as f64 * self.seq_vertex_write.geometric_mean();
+        EnergyDelay::from_pj_ns(sum * sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> ModelCosts {
+        let t = |ns: f64, pj: f64| CostTerm::new(Time::from_ns(ns), Energy::from_pj(pj));
+        ModelCosts {
+            seq_vertex_read: t(0.5, 10.0),
+            seq_vertex_write: t(0.5, 12.0),
+            rand_vertex_read: t(1.0, 24.0),
+            rand_vertex_write: t(0.6, 25.0),
+            edge_read: t(0.25, 13.0),
+            processing: t(1.5, 3.7),
+        }
+    }
+
+    fn workload() -> GraphWorkload {
+        GraphWorkload {
+            seq_vertex_reads: 1_000,
+            seq_vertex_writes: 500,
+            edge_reads: 10_000,
+        }
+    }
+
+    #[test]
+    fn counts_follow_eq_3_and_4() {
+        let w = workload();
+        assert_eq!(w.random_vertex_reads(), w.edge_reads);
+        assert_eq!(w.random_vertex_writes(), w.edge_reads);
+    }
+
+    #[test]
+    fn pipeline_uses_bottleneck_stage() {
+        let c = costs();
+        let w = workload();
+        // Bottleneck stage = processing at 1.5 ns.
+        let expect = 0.5 * 1000.0 + 1.5 * 10_000.0 + 0.5 * 500.0;
+        assert!((c.execution_time(&w).as_ns() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lower_bound_is_a_lower_bound() {
+        let c = costs();
+        let w = workload();
+        assert!(c.execution_time_lower_bound(&w) <= c.execution_time(&w));
+        assert!(c.edp_lower_bound(&w).as_pj_ns() <= c.edp(&w).as_pj_ns());
+    }
+
+    #[test]
+    fn energy_matches_eq_2_by_hand() {
+        let c = costs();
+        let w = workload();
+        let expect = 1000.0 * 10.0      // seq reads
+            + 2.0 * 10_000.0 * 24.0     // 2 * random reads
+            + 10_000.0 * 13.0           // edge reads
+            + 10_000.0 * 3.7            // processing
+            + 10_000.0 * 25.0           // random writes
+            + 500.0 * 12.0; // seq writes
+        assert!((c.energy(&w).as_pj() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn edp_is_product() {
+        let c = costs();
+        let w = workload();
+        let edp = c.edp(&w);
+        let expect = c.energy(&w).as_pj() * c.execution_time(&w).as_ns();
+        assert!((edp.as_pj_ns() - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn zero_workload_is_zero() {
+        let c = costs();
+        let w = GraphWorkload::default();
+        assert_eq!(c.execution_time(&w), Time::ZERO);
+        assert_eq!(c.energy(&w), Energy::ZERO);
+        assert_eq!(c.edp(&w).as_pj_ns(), 0.0);
+    }
+
+    #[test]
+    fn improving_a_term_tightens_the_bound() {
+        let c = costs();
+        let w = workload();
+        let base = c.edp_lower_bound(&w).as_pj_ns();
+        let mut better = c;
+        better.edge_read.energy = Energy::from_pj(1.0);
+        assert!(better.edp_lower_bound(&w).as_pj_ns() < base);
+    }
+}

@@ -1,0 +1,30 @@
+//! # hyve-model — the paper's §6 analytic model of graph processing on ReRAMs
+//!
+//! Implements equations (1)–(16):
+//!
+//! * [`general`] — total execution time (Eq. 1), energy (Eq. 2), EDP and the
+//!   Cauchy–Schwarz lower bound (Eq. 6),
+//! * [`edge_storage`] — DRAM vs ReRAM for the sequential edge stream
+//!   (Fig. 9),
+//! * [`vertex_storage`] — DRAM vs ReRAM as *global* vertex memory under the
+//!   HyVE (Eq. 7–8) and GraphR (Eq. 9) partitioning schemes (Fig. 10), and
+//!   the whole-vertex-storage comparison including local memories (Fig. 11),
+//! * [`crossbar`] — ReRAM crossbar processing costs (Eq. 10–16), showing why
+//!   CMOS beats crossbars when every edge must first be written in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crossbar;
+pub mod edge_storage;
+pub mod general;
+pub mod recommend;
+pub mod vertex_storage;
+
+pub use crossbar::CrossbarCosts;
+pub use edge_storage::{compare_edge_storage, AccessPattern, NormalizedComparison};
+pub use general::{CostTerm, GraphWorkload, ModelCosts};
+pub use recommend::{recommend, Objective, Recommendation, Technology, WorkloadShape};
+pub use vertex_storage::{
+    global_vertex_edp_ratio, vertex_storage_comparison, PartitionPolicy, VertexStorageSide,
+};

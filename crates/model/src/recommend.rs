@@ -1,0 +1,238 @@
+//! §6.6's "instructions for graph processing on ReRAMs", as an executable
+//! recommender: given a workload's shape, pick the device for each level of
+//! the hierarchy and the processing substrate, with the paper's reasoning
+//! attached.
+
+use crate::crossbar::CrossbarCosts;
+use crate::edge_storage::{compare_edge_storage, AccessPattern};
+use crate::vertex_storage::{global_vertex_edp_ratio, PartitionPolicy};
+use std::fmt;
+
+/// What the designer optimises for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Minimise execution time.
+    Latency,
+    /// Minimise energy.
+    Energy,
+    /// Minimise the energy-delay product.
+    EnergyDelay,
+}
+
+/// A memory technology choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technology {
+    /// Resistive RAM.
+    Reram,
+    /// Dynamic RAM.
+    Dram,
+    /// Static RAM.
+    Sram,
+    /// CMOS logic.
+    Cmos,
+    /// ReRAM crossbar processing-in-memory.
+    Crossbar,
+}
+
+impl fmt::Display for Technology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Technology::Reram => "ReRAM",
+            Technology::Dram => "DRAM",
+            Technology::Sram => "SRAM",
+            Technology::Cmos => "CMOS",
+            Technology::Crossbar => "ReRAM crossbar",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Workload shape the recommendation is conditioned on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadShape {
+    /// Vertices in the graph.
+    pub num_vertices: u64,
+    /// Edges in the graph.
+    pub num_edges: u64,
+    /// Intervals the vertex data must be cut into to fit on-chip.
+    pub partitions: u32,
+    /// Processing units.
+    pub pus: u32,
+    /// Average edges per non-empty 8×8 block (Table 1's Navg), for the
+    /// crossbar question.
+    pub navg: f64,
+    /// Memory chip density under consideration (Gbit).
+    pub density_gbit: u32,
+}
+
+/// A per-level recommendation with the §6.6 rationale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// Device for the sequential-read edge storage.
+    pub edge_storage: Technology,
+    /// Device for the global (off-chip) vertex memory.
+    pub global_vertex: Technology,
+    /// Device for the local (random-access) vertex memory.
+    pub local_vertex: Technology,
+    /// Substrate for processing edges.
+    pub processing: Technology,
+    /// One-line justifications, in the same order.
+    pub rationale: Vec<String>,
+}
+
+/// Applies §6.6's decision procedure.
+///
+/// ```
+/// use hyve_model::recommend::{recommend, Objective, Technology, WorkloadShape};
+/// let shape = WorkloadShape {
+///     num_vertices: 1_000_000, num_edges: 30_000_000,
+///     partitions: 80, pus: 8, navg: 1.5, density_gbit: 4,
+/// };
+/// let r = recommend(&shape, Objective::Energy);
+/// // The paper's conclusion: HyVE's exact hierarchy.
+/// assert_eq!(r.edge_storage, Technology::Reram);
+/// assert_eq!(r.local_vertex, Technology::Sram);
+/// assert_eq!(r.processing, Technology::Cmos);
+/// ```
+pub fn recommend(shape: &WorkloadShape, objective: Objective) -> Recommendation {
+    let mut rationale = Vec::new();
+
+    // Edge storage (§6.2 / Fig. 9): DRAM for latency, ReRAM otherwise.
+    let read = compare_edge_storage(shape.density_gbit, AccessPattern::SequentialRead);
+    let edge_storage = match objective {
+        Objective::Latency if read.delay_ratio < 1.0 => Technology::Dram,
+        _ => {
+            if read.edp_ratio > 1.0 {
+                Technology::Reram
+            } else {
+                Technology::Dram
+            }
+        }
+    };
+    rationale.push(format!(
+        "edge storage: sequential-read DRAM/ReRAM ratios at {} Gb — delay {:.2}, \
+         energy {:.2}, EDP {:.2} ⇒ {}",
+        shape.density_gbit, read.delay_ratio, read.energy_ratio, read.edp_ratio, edge_storage
+    ));
+
+    // Global vertex memory (§6.3 / Fig. 10): depends on the partition count.
+    let policy = PartitionPolicy::Hyve {
+        intervals: shape.partitions,
+        pus: shape.pus,
+    };
+    let edp_ratio =
+        global_vertex_edp_ratio(policy, shape.num_vertices, shape.density_gbit);
+    let global_vertex = if edp_ratio < 1.0 {
+        Technology::Dram
+    } else {
+        Technology::Reram
+    };
+    rationale.push(format!(
+        "global vertex memory: P={} partitions give a read:write mix with \
+         DRAM/ReRAM EDP ratio {:.2} ⇒ {}",
+        shape.partitions, edp_ratio, global_vertex
+    ));
+
+    // Local vertex memory (§6.3 / Fig. 11): SRAM, always — register files
+    // force tiny partitions and explode global traffic.
+    let local_vertex = Technology::Sram;
+    rationale.push(
+        "local vertex memory: SRAM — register files would force 8-vertex \
+         partitions and multiply global transfers (Fig. 11)"
+            .to_string(),
+    );
+
+    // Processing (§6.4): CMOS unless blocks are dense enough for the
+    // crossbar to amortise its writes — which never happens on real graphs.
+    let costs = CrossbarCosts::default();
+    let processing = if costs.cmos_wins(shape.navg.max(0.01)) {
+        Technology::Cmos
+    } else {
+        Technology::Crossbar
+    };
+    rationale.push(format!(
+        "processing: Navg={:.2} edges per 8x8 block; crossbar per-edge MV energy {} \
+         vs CMOS {} ⇒ {}",
+        shape.navg,
+        costs.per_edge_energy_mv(shape.navg.max(0.01)),
+        costs.cmos_per_edge_energy(),
+        processing
+    ));
+
+    Recommendation {
+        edge_storage,
+        global_vertex,
+        local_vertex,
+        processing,
+        rationale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn typical() -> WorkloadShape {
+        WorkloadShape {
+            num_vertices: 1_000_000,
+            num_edges: 30_000_000,
+            partitions: 80,
+            pus: 8,
+            navg: 1.5,
+            density_gbit: 4,
+        }
+    }
+
+    #[test]
+    fn energy_objective_reproduces_hyve() {
+        let r = recommend(&typical(), Objective::Energy);
+        assert_eq!(r.edge_storage, Technology::Reram);
+        assert_eq!(r.global_vertex, Technology::Dram);
+        assert_eq!(r.local_vertex, Technology::Sram);
+        assert_eq!(r.processing, Technology::Cmos);
+        assert_eq!(r.rationale.len(), 4);
+    }
+
+    #[test]
+    fn latency_objective_flips_edge_storage_to_dram() {
+        let r = recommend(&typical(), Objective::Latency);
+        assert_eq!(r.edge_storage, Technology::Dram);
+        // The rest of the hierarchy is unchanged.
+        assert_eq!(r.local_vertex, Technology::Sram);
+    }
+
+    #[test]
+    fn graphr_like_partitioning_prefers_reram_globally() {
+        // Emulate GraphR's enormous partition count via a huge P: the
+        // read:write ratio becomes read-dominated and ReRAM wins.
+        let mut shape = typical();
+        shape.partitions = 100_000;
+        let r = recommend(&shape, Objective::EnergyDelay);
+        assert_eq!(r.global_vertex, Technology::Reram);
+    }
+
+    #[test]
+    fn crossbar_never_recommended_at_real_sparsity() {
+        for navg in [1.0, 1.5, 2.4, 10.0, 64.0] {
+            let mut shape = typical();
+            shape.navg = navg;
+            let r = recommend(&shape, Objective::Energy);
+            assert_eq!(r.processing, Technology::Cmos, "navg={navg}");
+        }
+    }
+
+    #[test]
+    fn rationale_mentions_each_choice() {
+        let r = recommend(&typical(), Objective::Energy);
+        assert!(r.rationale[0].contains("edge storage"));
+        assert!(r.rationale[1].contains("global vertex"));
+        assert!(r.rationale[2].contains("local vertex"));
+        assert!(r.rationale[3].contains("processing"));
+    }
+
+    #[test]
+    fn technology_display() {
+        assert_eq!(Technology::Crossbar.to_string(), "ReRAM crossbar");
+        assert_eq!(Technology::Cmos.to_string(), "CMOS");
+    }
+}

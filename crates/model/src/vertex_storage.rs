@@ -1,0 +1,281 @@
+//! §6.3 — vertex storage analysis (Fig. 10 and Fig. 11).
+//!
+//! Vertices are read sequentially from *global* memory when intervals load
+//! and written back once converged; the read : write ratio depends on the
+//! partitioning policy:
+//!
+//! * HyVE (Eq. 7–8): `NR(v,s) = (P/N)·Nv`, `NW(v,s) = Nv` — few partitions,
+//!   modest ratio ⇒ DRAM's cheap writes win the global-memory EDP,
+//! * GraphR (Eq. 9): `NR(v,s) = 16 · non-empty-blocks`, `NW(v,s) = Nv` —
+//!   tiny 8×8 blocks make the ratio enormous ⇒ read-cheap ReRAM wins.
+//!
+//! Fig. 11 widens the lens to the *whole* vertex storage: GraphR's register
+//! files are faster per access than SRAM, but forcing 8×8 blocks multiplies
+//! global traffic so much that HyVE wins delay, energy and EDP.
+
+use crate::general::CostTerm;
+use hyve_memsim::{
+    DramChip, DramChipConfig, MemoryDevice, RegisterFile, ReramChip, ReramChipConfig,
+    SramArray, SramConfig,
+};
+
+/// Which system's partitioning generates the traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionPolicy {
+    /// HyVE interval-block partitioning with data sharing (Eq. 8).
+    Hyve {
+        /// Total intervals P.
+        intervals: u32,
+        /// Processing units N.
+        pus: u32,
+    },
+    /// GraphR 8×8 blocks (Eq. 9).
+    GraphR {
+        /// Number of non-empty 8×8 blocks.
+        non_empty_blocks: u64,
+    },
+}
+
+impl PartitionPolicy {
+    /// Sequential global vertex reads per iteration.
+    pub fn seq_reads(&self, num_vertices: u64) -> u64 {
+        match *self {
+            PartitionPolicy::Hyve { intervals, pus } => {
+                num_vertices * u64::from(intervals) / u64::from(pus.max(1))
+            }
+            PartitionPolicy::GraphR { non_empty_blocks } => 16 * non_empty_blocks,
+        }
+    }
+
+    /// Sequential global vertex writes per iteration (Eq. 7: every vertex
+    /// written back once).
+    pub fn seq_writes(&self, num_vertices: u64) -> u64 {
+        num_vertices
+    }
+}
+
+/// Global-memory EDP ratio `DRAM / ReRAM` for a policy (Fig. 10).
+/// Values < 1 mean DRAM is the better global vertex memory.
+///
+/// ```
+/// use hyve_model::{global_vertex_edp_ratio, PartitionPolicy};
+/// // GraphR's read-dominated mix favours ReRAM:
+/// let graphr = global_vertex_edp_ratio(
+///     PartitionPolicy::GraphR { non_empty_blocks: 2_000_000 }, 100_000, 4);
+/// // HyVE's fewer partitions pull the ratio down towards DRAM:
+/// let hyve = global_vertex_edp_ratio(
+///     PartitionPolicy::Hyve { intervals: 80, pus: 8 }, 100_000, 4);
+/// assert!(hyve < graphr);
+/// ```
+pub fn global_vertex_edp_ratio(
+    policy: PartitionPolicy,
+    num_vertices: u64,
+    density_gbit: u32,
+) -> f64 {
+    const VERTEX_BITS: u64 = 64; // value + index metadata, §3.4 record
+    let reads = policy.seq_reads(num_vertices);
+    let writes = policy.seq_writes(num_vertices);
+    let dram = DramChip::new(DramChipConfig::with_density(density_gbit));
+    let reram = ReramChip::new(ReramChipConfig::with_density(density_gbit));
+
+    let cost = |dev: &dyn MemoryDevice| -> (f64, f64) {
+        let per_access = u64::from(dev.output_bits()) / VERTEX_BITS;
+        let read_accesses = reads.div_ceil(per_access).max(1);
+        let write_accesses = writes.div_ceil(per_access).max(1);
+        let t = dev.burst_period() * read_accesses as f64
+            + dev.sequential_write_period() * write_accesses as f64;
+        let e = dev.read_energy(reads * VERTEX_BITS)
+            + dev.write_energy(writes * VERTEX_BITS)
+            + dev.background_power() * t;
+        (t.as_ns(), e.as_pj())
+    };
+    let (td, ed) = cost(&dram);
+    let (tr, er) = cost(&reram);
+    (td * ed) / (tr * er)
+}
+
+/// One side of the Fig. 11 comparison: counts plus total (time, energy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VertexStorageSide {
+    /// Sequential global reads per iteration.
+    pub global_reads: u64,
+    /// Sequential global writes per iteration.
+    pub global_writes: u64,
+    /// Total vertex-storage cost (global + local traffic).
+    pub total: CostTerm,
+}
+
+/// Inputs for [`vertex_storage_comparison`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VertexWorkload {
+    /// Vertices in the graph.
+    pub num_vertices: u64,
+    /// Edges traversed per iteration.
+    pub num_edges: u64,
+    /// Non-empty 8×8 blocks (GraphR's grid).
+    pub non_empty_blocks: u64,
+    /// HyVE interval count P.
+    pub hyve_intervals: u32,
+    /// Processing units N.
+    pub pus: u32,
+}
+
+/// Fig. 11: whole-vertex-storage comparison. Returns `(hyve, graphr)`;
+/// the paper plots GraphR/HyVE ratios, which the caller derives.
+pub fn vertex_storage_comparison(w: VertexWorkload) -> (VertexStorageSide, VertexStorageSide) {
+    const VERTEX_BITS: u64 = 32;
+
+    // --- HyVE: DRAM global + 2 MB SRAM local -------------------------------
+    let dram = DramChip::new(DramChipConfig::default());
+    let sram = SramArray::new(SramConfig::default());
+    let hyve_policy = PartitionPolicy::Hyve {
+        intervals: w.hyve_intervals,
+        pus: w.pus,
+    };
+    let h_reads = hyve_policy.seq_reads(w.num_vertices);
+    let h_writes = hyve_policy.seq_writes(w.num_vertices);
+    let h_global_t = dram.burst_period()
+        * ((h_reads + h_writes) * VERTEX_BITS).div_ceil(u64::from(dram.output_bits()))
+            as f64;
+    let h_global_e =
+        dram.read_energy(h_reads * VERTEX_BITS) + dram.write_energy(h_writes * VERTEX_BITS);
+    // Local: 2 reads + 1 write per edge, plus interval fills; the N
+    // processing units drive N SRAM sections in parallel.
+    let h_local_ops = 3 * w.num_edges;
+    let h_local_t = (sram.word_read_latency() * 2.0 + sram.word_write_latency())
+        * (w.num_edges as f64 / f64::from(w.pus.max(1)));
+    let h_local_e = (sram.word_read_energy() * 2.0 + sram.word_write_energy())
+        * w.num_edges as f64
+        + sram.bulk_write_energy(h_reads * VERTEX_BITS);
+    let _ = h_local_ops;
+    let hyve = VertexStorageSide {
+        global_reads: h_reads,
+        global_writes: h_writes,
+        total: CostTerm::new(h_global_t + h_local_t, h_global_e + h_local_e),
+    };
+
+    // --- GraphR: ReRAM global + register files local -----------------------
+    let reram = ReramChip::new(ReramChipConfig::default());
+    let rf = RegisterFile::default();
+    let g_policy = PartitionPolicy::GraphR {
+        non_empty_blocks: w.non_empty_blocks,
+    };
+    let g_reads = g_policy.seq_reads(w.num_vertices);
+    let g_writes = g_policy.seq_writes(w.num_vertices);
+    // Each block fetches 8 source and 8 destination values — 256 bits, half
+    // an access window — so every non-empty block costs two full accesses
+    // whose width is mostly wasted. This under-utilisation is the §6.3
+    // point: "dividing graphs into small partitions leads to more data
+    // transfer between local and global vertex memory".
+    let g_read_accesses = 2 * w.non_empty_blocks;
+    let g_global_t = reram.burst_period() * g_read_accesses as f64
+        + reram.sequential_write_period()
+            * (g_writes * VERTEX_BITS).div_ceil(u64::from(reram.output_bits())) as f64;
+    let g_global_e = reram.read_energy(512) * g_read_accesses as f64
+        + reram.write_energy(g_writes * VERTEX_BITS);
+    // Local register file: 2 reads + 1 write per edge + 16 fills per block,
+    // again across N parallel graph engines.
+    let g_local_t = ((rf.read_latency() * 2.0 + rf.write_latency()) * w.num_edges as f64
+        + rf.write_latency() * (16 * w.non_empty_blocks) as f64)
+        / f64::from(w.pus.max(1));
+    let g_local_e = (rf.read_energy(VERTEX_BITS) * 2.0 + rf.write_energy(VERTEX_BITS))
+        * w.num_edges as f64
+        + rf.write_energy(VERTEX_BITS) * (16 * w.non_empty_blocks) as f64;
+    let graphr = VertexStorageSide {
+        global_reads: g_reads,
+        global_writes: g_writes,
+        total: CostTerm::new(g_global_t + g_local_t, g_global_e + g_local_e),
+    };
+
+    (hyve, graphr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> VertexWorkload {
+        // Scaled LJ-like numbers.
+        VertexWorkload {
+            num_vertices: 75_781,
+            num_edges: 1_078_125,
+            non_empty_blocks: 700_000,
+            hyve_intervals: 80,
+            pus: 8,
+        }
+    }
+
+    #[test]
+    fn policy_counts_match_equations() {
+        let hyve = PartitionPolicy::Hyve {
+            intervals: 80,
+            pus: 8,
+        };
+        assert_eq!(hyve.seq_reads(1000), 10_000); // (P/N)·Nv
+        assert_eq!(hyve.seq_writes(1000), 1000);
+        let graphr = PartitionPolicy::GraphR {
+            non_empty_blocks: 500,
+        };
+        assert_eq!(graphr.seq_reads(1000), 8000); // 16·NEB
+        assert_eq!(graphr.seq_writes(1000), 1000);
+    }
+
+    #[test]
+    fn fig10_hyve_prefers_dram_graphr_prefers_reram() {
+        let nv = 1_000_000u64;
+        for density in [4, 8, 16] {
+            let hyve = global_vertex_edp_ratio(
+                PartitionPolicy::Hyve {
+                    intervals: 80,
+                    pus: 8,
+                },
+                nv,
+                density,
+            );
+            let graphr = global_vertex_edp_ratio(
+                PartitionPolicy::GraphR {
+                    non_empty_blocks: 20_000_000,
+                },
+                nv,
+                density,
+            );
+            assert!(
+                hyve < graphr,
+                "HyVE's mix must lean towards DRAM: {hyve} vs {graphr} at {density} Gb"
+            );
+            assert!(graphr > 1.0, "GraphR's read-heavy mix must favour ReRAM");
+        }
+    }
+
+    #[test]
+    fn fig10_hyve_ratio_below_one_at_default_density() {
+        let r = global_vertex_edp_ratio(
+            PartitionPolicy::Hyve {
+                intervals: 16,
+                pus: 8,
+            },
+            1_000_000,
+            4,
+        );
+        assert!(r < 1.0, "few partitions ⇒ DRAM wins, got {r}");
+    }
+
+    #[test]
+    fn fig11_hyve_wins_whole_vertex_storage() {
+        let (hyve, graphr) = vertex_storage_comparison(workload());
+        // GraphR reads far more vertices globally...
+        assert!(graphr.global_reads > 10 * hyve.global_reads);
+        // ...and loses delay, energy and EDP despite faster local storage.
+        assert!(graphr.total.time > hyve.total.time);
+        assert!(graphr.total.energy > hyve.total.energy);
+        let edp_ratio = (graphr.total.time.as_ns() * graphr.total.energy.as_pj())
+            / (hyve.total.time.as_ns() * hyve.total.energy.as_pj());
+        assert!(edp_ratio > 1.0, "GraphR/HyVE EDP ratio {edp_ratio} must exceed 1");
+    }
+
+    #[test]
+    fn write_counts_equal_by_eq7() {
+        let (hyve, graphr) = vertex_storage_comparison(workload());
+        assert_eq!(hyve.global_writes, graphr.global_writes);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the §6 analytic model: the Cauchy–Schwarz bound
+//! really is a bound, ratios behave monotonically, and the recommender is
+//! stable over the physical parameter space.
+
+use hyve_memsim::{Energy, Time};
+use hyve_model::general::{CostTerm, GraphWorkload, ModelCosts};
+use hyve_model::{
+    compare_edge_storage, global_vertex_edp_ratio, recommend, AccessPattern,
+    CrossbarCosts, Objective, PartitionPolicy, Technology, WorkloadShape,
+};
+use proptest::prelude::*;
+
+fn arb_term() -> impl Strategy<Value = CostTerm> {
+    (0.01f64..100.0, 0.01f64..1000.0)
+        .prop_map(|(ns, pj)| CostTerm::new(Time::from_ns(ns), Energy::from_pj(pj)))
+}
+
+fn arb_costs() -> impl Strategy<Value = ModelCosts> {
+    (
+        arb_term(),
+        arb_term(),
+        arb_term(),
+        arb_term(),
+        arb_term(),
+        arb_term(),
+    )
+        .prop_map(|(a, b, c, d, e, f)| ModelCosts {
+            seq_vertex_read: a,
+            seq_vertex_write: b,
+            rand_vertex_read: c,
+            rand_vertex_write: d,
+            edge_read: e,
+            processing: f,
+        })
+}
+
+fn arb_workload() -> impl Strategy<Value = GraphWorkload> {
+    (1u64..100_000, 1u64..100_000, 1u64..1_000_000).prop_map(|(r, w, e)| GraphWorkload {
+        seq_vertex_reads: r,
+        seq_vertex_writes: w,
+        edge_reads: e,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Eq. (6) is a true lower bound on Eq. (5) for any cost/workload mix.
+    #[test]
+    fn cauchy_schwarz_bound_holds(costs in arb_costs(), w in arb_workload()) {
+        let edp = costs.edp(&w).as_pj_ns();
+        let bound = costs.edp_lower_bound(&w).as_pj_ns();
+        prop_assert!(
+            bound <= edp * (1.0 + 1e-9),
+            "bound {bound} exceeds EDP {edp}"
+        );
+        // And the Eq. (1) time bound too.
+        prop_assert!(
+            costs.execution_time_lower_bound(&w) <= costs.execution_time(&w)
+        );
+    }
+
+    /// Execution time and energy are monotone in every workload component.
+    #[test]
+    fn model_monotone_in_workload(costs in arb_costs(), w in arb_workload()) {
+        let bigger = GraphWorkload {
+            seq_vertex_reads: w.seq_vertex_reads + 1,
+            seq_vertex_writes: w.seq_vertex_writes + 1,
+            edge_reads: w.edge_reads + 1,
+        };
+        prop_assert!(costs.execution_time(&w) <= costs.execution_time(&bigger));
+        prop_assert!(costs.energy(&w) <= costs.energy(&bigger));
+    }
+
+    /// The DRAM/ReRAM global-vertex EDP ratio grows with the partition
+    /// count (more read-dominated ⇒ more ReRAM-friendly).
+    #[test]
+    fn vertex_edp_ratio_monotone_in_partitions(p1 in 8u32..10_000, p2 in 8u32..10_000) {
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        let nv = 1_000_000u64;
+        let r_lo = global_vertex_edp_ratio(
+            PartitionPolicy::Hyve { intervals: lo, pus: 8 }, nv, 4);
+        let r_hi = global_vertex_edp_ratio(
+            PartitionPolicy::Hyve { intervals: hi, pus: 8 }, nv, 4);
+        prop_assert!(r_lo <= r_hi * (1.0 + 1e-9), "{lo}:{r_lo} vs {hi}:{r_hi}");
+    }
+
+    /// Edge-storage pattern ordering: more writes always pushes the EDP
+    /// ratio towards DRAM.
+    #[test]
+    fn edge_storage_pattern_ordering(density in 1u32..32) {
+        let read = compare_edge_storage(density, AccessPattern::SequentialRead);
+        let mixed = compare_edge_storage(density, AccessPattern::Mixed);
+        let write = compare_edge_storage(density, AccessPattern::SequentialWrite);
+        prop_assert!(read.edp_ratio >= mixed.edp_ratio);
+        prop_assert!(mixed.edp_ratio >= write.edp_ratio);
+    }
+
+    /// The crossbar never beats CMOS within an 8×8 block's possible
+    /// occupancy, with the paper's cost constants.
+    #[test]
+    fn crossbar_always_loses_in_range(navg in 0.05f64..64.0) {
+        let c = CrossbarCosts::default();
+        prop_assert!(c.per_edge_energy_mv(navg) > c.cmos_per_edge_energy());
+    }
+
+    /// The recommender's local-vertex and processing choices are invariant
+    /// over the whole realistic workload space.
+    #[test]
+    fn recommender_stable_choices(
+        nv in 1_000u64..100_000_000,
+        density_edges in 2u64..64,
+        partitions in 8u32..100_000,
+        navg in 0.1f64..64.0,
+        chip in prop::sample::select(vec![4u32, 8, 16]),
+    ) {
+        let shape = WorkloadShape {
+            num_vertices: nv,
+            num_edges: nv * density_edges,
+            partitions,
+            pus: 8,
+            navg,
+            density_gbit: chip,
+        };
+        for objective in [Objective::Latency, Objective::Energy, Objective::EnergyDelay] {
+            let r = recommend(&shape, objective);
+            prop_assert_eq!(r.local_vertex, Technology::Sram);
+            prop_assert_eq!(r.processing, Technology::Cmos);
+            prop_assert_eq!(r.rationale.len(), 4);
+        }
+        // Latency objective always picks DRAM edges.
+        let r = recommend(&shape, Objective::Latency);
+        prop_assert_eq!(r.edge_storage, Technology::Dram);
+    }
+}

@@ -1,0 +1,36 @@
+//! Quickstart: generate a scaled social graph, run PageRank through the
+//! optimized HyVE hierarchy, and print the energy/time report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hyve::algorithms::PageRank;
+use hyve::core::{Engine, SystemConfig};
+use hyve::graph::DatasetProfile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The com-youtube stand-in: same |E|/|V| ratio and skew as the paper's
+    // dataset, scaled to laptop size (see DESIGN.md).
+    let profile = DatasetProfile::youtube_scaled();
+    let graph = profile.generate(42);
+    println!("graph: {profile}");
+
+    // HyVE with data sharing and bank-level power gating (the paper's best
+    // configuration), 8 processing units, 2 MB on-chip vertex memory.
+    let engine = Engine::new(SystemConfig::hyve_opt());
+    let report = engine.run_on_edge_list(&PageRank::new(10), &graph)?;
+
+    println!("{report}");
+    println!();
+    println!("iterations        : {}", report.iterations);
+    println!("intervals (P)     : {}", report.intervals);
+    println!("elapsed           : {}", report.elapsed());
+    println!("energy            : {}", report.energy());
+    println!("energy efficiency : {:.1} MTEPS/W", report.mteps_per_watt());
+    println!(
+        "memory share      : {:.1}% of total energy",
+        100.0 * report.breakdown.memory_fraction()
+    );
+    Ok(())
+}

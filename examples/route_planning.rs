@@ -1,0 +1,99 @@
+//! Weighted shortest paths on a road-network-like graph — exercises SSSP
+//! (one of the two extra algorithms of the GraphR comparison, §7.4.3) with
+//! real edge weights, validated against a Dijkstra reference.
+//!
+//! ```sh
+//! cargo run --release --example route_planning
+//! ```
+
+use hyve::algorithms::{reference, Sssp};
+use hyve::core::{Engine, SystemConfig};
+use hyve::graph::{Csr, Edge, EdgeList, VertexId};
+use hyve::graphr::GraphrEngine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a grid-with-shortcuts road network: `side × side` intersections,
+/// 4-neighbour streets with jittered lengths, plus a few highways.
+fn road_network(side: u32, seed: u64) -> Result<EdgeList, hyve::graph::GraphError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nv = side * side;
+    let mut g = EdgeList::new(nv);
+    let id = |x: u32, y: u32| y * side + x;
+    for y in 0..side {
+        for x in 0..side {
+            let mut connect = |a: u32, b: u32, base: f32| -> Result<(), hyve::graph::GraphError> {
+                let w = base * (0.8 + 0.4 * rng.gen::<f32>());
+                g.try_push(Edge::with_weight(a, b, w))?;
+                g.try_push(Edge::with_weight(b, a, w))
+            };
+            if x + 1 < side {
+                connect(id(x, y), id(x + 1, y), 1.0)?;
+            }
+            if y + 1 < side {
+                connect(id(x, y), id(x, y + 1), 1.0)?;
+            }
+        }
+    }
+    // Highways: long but fast diagonal shortcuts.
+    for _ in 0..side {
+        let a = rng.gen_range(0..nv);
+        let b = rng.gen_range(0..nv);
+        if a != b {
+            g.try_push(Edge::with_weight(a, b, 3.0))?;
+            g.try_push(Edge::with_weight(b, a, 3.0))?;
+        }
+    }
+    Ok(g)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let side = 160;
+    let graph = road_network(side, 5)?;
+    println!(
+        "road network: {} intersections, {} directed street segments",
+        graph.num_vertices(),
+        graph.len()
+    );
+
+    let depot = VertexId::new(0);
+    let sssp = Sssp::new(depot);
+
+    // HyVE computes the distances...
+    let engine = Engine::new(SystemConfig::hyve_opt());
+    let (report, distances) = engine.run_on_edge_list_with_values(&sssp, &graph)?;
+
+    // ...and Dijkstra agrees.
+    let csr = Csr::from_edge_list(&graph);
+    let expect = reference::sssp_distances(&csr, depot);
+    let mut max_err = 0.0f32;
+    for (a, b) in distances.iter().zip(expect.iter()) {
+        if b.is_finite() {
+            max_err = max_err.max((a - b).abs());
+        }
+    }
+    println!("max deviation from Dijkstra: {max_err:.5}");
+    assert!(max_err < 1e-3, "engine must agree with Dijkstra");
+
+    let corner = VertexId::new(graph.num_vertices() - 1);
+    println!(
+        "distance depot -> far corner: {:.2} (straight-line grid distance {})",
+        distances[corner.index()],
+        2 * (side - 1)
+    );
+    println!(
+        "HyVE: {} iterations, {:.1} MTEPS/W, {}",
+        report.iterations,
+        report.mteps_per_watt(),
+        report.elapsed()
+    );
+
+    // GraphR runs the same query — at a higher energy bill (Fig. 21).
+    let graphr = GraphrEngine::new().run(&sssp, &graph)?;
+    println!(
+        "GraphR: {:.1} MTEPS/W ({:.1}x more energy than HyVE)",
+        graphr.mteps_per_watt(),
+        graphr.energy() / report.energy()
+    );
+    Ok(())
+}
