@@ -139,7 +139,10 @@ mod tests {
     #[test]
     fn saturating_add_avoids_overflow() {
         let bfs = Bfs::new(VertexId::new(0));
-        assert_eq!(bfs.scatter(UNREACHED, &Edge::new(0, 1), &GraphMeta::from_edges(2, &[])), UNREACHED);
+        assert_eq!(
+            bfs.scatter(UNREACHED, &Edge::new(0, 1), &GraphMeta::from_edges(2, &[])),
+            UNREACHED
+        );
     }
 
     #[test]

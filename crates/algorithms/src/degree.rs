@@ -121,10 +121,7 @@ mod tests {
 
     #[test]
     fn weighted_sums_weights() {
-        let edges = [
-            Edge::with_weight(0, 1, 2.5),
-            Edge::with_weight(2, 1, 0.5),
-        ];
+        let edges = [Edge::with_weight(0, 1, 2.5), Edge::with_weight(2, 1, 0.5)];
         let meta = GraphMeta::from_edges(3, &edges);
         let run = run_in_memory(&DegreeCentrality::weighted(), &edges, &meta);
         assert_eq!(run.values[1], 3.0);

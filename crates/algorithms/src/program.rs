@@ -86,7 +86,11 @@ impl IterationBound {
 }
 
 /// An edge-centric vertex program (paper Algorithm 1).
-pub trait EdgeProgram {
+///
+/// `Sync` is required so the engine can share one program instance across
+/// the worker threads of a parallel
+/// [`ExecutionStrategy`](../hyve_core/exec/enum.ExecutionStrategy.html).
+pub trait EdgeProgram: Sync {
     /// Vertex value type.
     type Value: Copy + PartialEq + std::fmt::Debug + Send + Sync;
 
@@ -117,8 +121,13 @@ pub trait EdgeProgram {
 
     /// Folds the iteration's accumulator into the previous value
     /// (accumulate mode only; monotone programs never see this call).
-    fn apply(&self, v: VertexId, acc: Self::Value, prev: Self::Value, meta: &GraphMeta)
-        -> Self::Value;
+    fn apply(
+        &self,
+        v: VertexId,
+        acc: Self::Value,
+        prev: Self::Value,
+        meta: &GraphMeta,
+    ) -> Self::Value;
 
     /// True if edges should also propagate dst → src (undirected semantics;
     /// connected components needs this on a directed edge list).
@@ -186,12 +195,7 @@ pub fn run_in_memory<P: EdgeProgram>(
                     }
                 }
                 for v in 0..n {
-                    let new = program.apply(
-                        VertexId::new(v as u32),
-                        acc[v],
-                        values[v],
-                        meta,
-                    );
+                    let new = program.apply(VertexId::new(v as u32), acc[v], values[v], meta);
                     if new != values[v] {
                         changed = true;
                         updates += 1;
@@ -209,8 +213,7 @@ pub fn run_in_memory<P: EdgeProgram>(
                         updates += 1;
                     }
                     if program.undirected() {
-                        let msg =
-                            program.scatter(values[e.dst.index()], &e.reversed(), meta);
+                        let msg = program.scatter(values[e.dst.index()], &e.reversed(), meta);
                         let merged = program.merge(values[e.src.index()], msg);
                         if merged != values[e.src.index()] {
                             values[e.src.index()] = merged;

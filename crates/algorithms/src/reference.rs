@@ -178,11 +178,8 @@ mod tests {
 
     #[test]
     fn cc_labels_are_min_ids() {
-        let g = EdgeList::from_edges(
-            6,
-            [Edge::new(4, 1), Edge::new(1, 2), Edge::new(5, 3)],
-        )
-        .unwrap();
+        let g =
+            EdgeList::from_edges(6, [Edge::new(4, 1), Edge::new(1, 2), Edge::new(5, 3)]).unwrap();
         let labels = connected_components(&g);
         assert_eq!(labels, vec![0, 1, 1, 3, 1, 3]);
     }

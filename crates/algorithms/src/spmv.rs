@@ -124,10 +124,7 @@ mod tests {
 
     #[test]
     fn uniform_input_is_row_sums() {
-        let edges = [
-            Edge::with_weight(0, 2, 1.5),
-            Edge::with_weight(1, 2, 2.5),
-        ];
+        let edges = [Edge::with_weight(0, 2, 1.5), Edge::with_weight(1, 2, 2.5)];
         let meta = GraphMeta::from_edges(3, &edges);
         let run = run_in_memory(&SpMv::new().with_uniform_input(), &edges, &meta);
         assert_eq!(run.values[2], 4.0);

@@ -9,17 +9,15 @@ use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = EdgeList> {
     (2u32..60).prop_flat_map(|nv| {
-        proptest::collection::vec((0..nv, 0..nv, 0.1f32..5.0), 0..250).prop_map(
-            move |triples| {
-                let mut g = EdgeList::new(nv);
-                g.extend(
-                    triples
-                        .into_iter()
-                        .map(|(s, d, w)| Edge::with_weight(s, d, w)),
-                );
-                g
-            },
-        )
+        proptest::collection::vec((0..nv, 0..nv, 0.1f32..5.0), 0..250).prop_map(move |triples| {
+            let mut g = EdgeList::new(nv);
+            g.extend(
+                triples
+                    .into_iter()
+                    .map(|(s, d, w)| Edge::with_weight(s, d, w)),
+            );
+            g
+        })
     })
 }
 

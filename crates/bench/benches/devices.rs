@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hyve_memsim::{
-    DramChip, DramChipConfig, GatingTracker, MemoryDevice, Power, PowerGatingConfig,
-    ReramChip, ReramChipConfig, SramArray, SramConfig, Time,
+    DramChip, DramChipConfig, GatingTracker, MemoryDevice, Power, PowerGatingConfig, ReramChip,
+    ReramChipConfig, SramArray, SramConfig, Time,
 };
 use std::hint::black_box;
 
@@ -21,11 +21,7 @@ fn bench_device_costs(c: &mut Criterion) {
         b.iter(|| black_box(dram.random_read_energy(black_box(512))))
     });
     group.bench_function("sram_word_ops", |b| {
-        b.iter(|| {
-            black_box(
-                sram.read_energy(black_box(32)) + sram.write_energy(black_box(32)),
-            )
-        })
+        b.iter(|| black_box(sram.read_energy(black_box(32)) + sram.write_energy(black_box(32))))
     });
     group.finish();
 }
@@ -35,11 +31,7 @@ fn bench_gating_tracker(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("10k_accesses_8_banks", |b| {
         b.iter(|| {
-            let mut t = GatingTracker::new(
-                PowerGatingConfig::default(),
-                8,
-                Power::from_mw(2.5),
-            );
+            let mut t = GatingTracker::new(PowerGatingConfig::default(), 8, Power::from_mw(2.5));
             for i in 0..10_000u32 {
                 t.access(i % 8, Time::from_ns(f64::from(i) * 100.0));
             }

@@ -10,8 +10,7 @@ use std::hint::black_box;
 
 fn bench_update_batch(c: &mut Criterion) {
     let graph = DatasetProfile::youtube_scaled().generate(SEED);
-    let requests =
-        hyve_bench::experiments::fig20::request_mix(&graph, 5_000, SEED ^ 0x20);
+    let requests = hyve_bench::experiments::fig20::request_mix(&graph, 5_000, SEED ^ 0x20);
     let mut group = c.benchmark_group("dynamic_5k_requests_yt");
     group.sample_size(10);
 

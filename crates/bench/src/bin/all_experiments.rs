@@ -23,5 +23,8 @@ fn main() {
     e::fig21::print();
     e::table4::print();
     e::ablation::print();
-    println!("\nall experiments regenerated in {:.1}s", t.elapsed().as_secs_f64());
+    println!(
+        "\nall experiments regenerated in {:.1}s",
+        t.elapsed().as_secs_f64()
+    );
 }

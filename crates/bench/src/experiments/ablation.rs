@@ -3,8 +3,8 @@
 //! decision contributes (the DESIGN.md extension beyond the paper's own
 //! figures, which only ablate sharing and gating).
 
-use crate::workloads::{configure, datasets, Algorithm};
-use hyve_core::{Engine, SystemConfig};
+use crate::workloads::{configure, datasets, session, Algorithm};
+use hyve_core::SystemConfig;
 use hyve_memsim::CellBits;
 
 /// One ablation: a named change from the baseline and its relative effect.
@@ -21,8 +21,11 @@ pub struct Row {
     pub relative_time: f64,
 }
 
+/// A named configuration transformer.
+type Variant = (&'static str, fn(SystemConfig) -> SystemConfig);
+
 /// The ablation variants: (name, configuration transformer).
-fn variants() -> Vec<(&'static str, fn(SystemConfig) -> SystemConfig)> {
+fn variants() -> Vec<Variant> {
     vec![
         ("- data sharing", |c| c.with_data_sharing(false)),
         ("- power gating", |c| c.with_power_gating(false)),
@@ -35,7 +38,9 @@ fn variants() -> Vec<(&'static str, fn(SystemConfig) -> SystemConfig)> {
             offchip_vertex: hyve_core::VertexMemoryKind::Reram,
             ..c
         }),
-        ("- SLC cells (3-bit MLC)", |c| c.with_cell_bits(CellBits::Mlc3)),
+        ("- SLC cells (3-bit MLC)", |c| {
+            c.with_cell_bits(CellBits::Mlc3)
+        }),
         ("- SRAM headroom (16 MB)", |c| c.with_sram_mb(16)),
         ("- PU parallelism (2 PUs)", |c| c.with_num_pus(2)),
     ]
@@ -46,10 +51,10 @@ pub fn run() -> Vec<Row> {
     let mut rows = Vec::new();
     for (profile, graph) in &datasets() {
         let baseline_cfg = configure(SystemConfig::hyve_opt(), profile);
-        let baseline = Algorithm::Pr.run_hyve(&Engine::new(baseline_cfg.clone()), graph);
+        let baseline = Algorithm::Pr.run_hyve(&session(baseline_cfg.clone()), graph);
         for (name, transform) in variants() {
             let cfg = transform(baseline_cfg.clone());
-            let report = Algorithm::Pr.run_hyve(&Engine::new(cfg), graph);
+            let report = Algorithm::Pr.run_hyve(&session(cfg), graph);
             rows.push(Row {
                 variant: name,
                 dataset: profile.tag,

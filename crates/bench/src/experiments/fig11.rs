@@ -46,8 +46,7 @@ pub fn run() -> Vec<Row> {
             Row {
                 dataset: profile.tag,
                 read_count_ratio: graphr.global_reads as f64 / hyve.global_reads as f64,
-                write_count_ratio: graphr.global_writes as f64
-                    / hyve.global_writes as f64,
+                write_count_ratio: graphr.global_writes as f64 / hyve.global_writes as f64,
                 delay_ratio: graphr.total.time / hyve.total.time,
                 energy_ratio: graphr.total.energy / hyve.total.energy,
                 edp_ratio: (graphr.total.time.as_ns() * graphr.total.energy.as_pj())

@@ -68,8 +68,7 @@ pub fn print() {
     crate::print_table(
         "Fig. 12: normalized preprocessing speed vs #blocks (P x P)",
         &[
-            "dataset", "4x4", "8x8", "16x16", "32x32", "64x64", "128x128", "256x256",
-            "512x512",
+            "dataset", "4x4", "8x8", "16x16", "32x32", "64x64", "128x128", "256x256", "512x512",
         ],
         &rows,
     );

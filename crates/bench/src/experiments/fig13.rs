@@ -1,8 +1,8 @@
 //! Fig. 13: energy efficiency with 1/2/3-bit ReRAM cells running PR —
 //! the MLC sense-amplifier overhead outweighs the density win, so SLC wins.
 
-use crate::workloads::{configure, datasets, Algorithm};
-use hyve_core::{Engine, SystemConfig};
+use crate::workloads::{configure, datasets, session, Algorithm};
+use hyve_core::SystemConfig;
 use hyve_memsim::CellBits;
 
 /// One dataset's efficiency per cell type.
@@ -32,7 +32,7 @@ pub fn run() -> Vec<Row> {
             for (i, bits) in CellBits::all().into_iter().enumerate() {
                 let cfg = configure(SystemConfig::hyve().with_cell_bits(bits), profile);
                 eff[i] = Algorithm::Pr
-                    .run_hyve(&Engine::new(cfg), graph)
+                    .run_hyve(&session(cfg), graph)
                     .mteps_per_watt();
             }
             Row {

@@ -5,8 +5,8 @@
 //! Paper averages: BFS 1.15×, CC 1.47×, PR 2.19× (1.60× overall) — PR's
 //! wider vertices move the most data, so it benefits the most.
 
-use crate::workloads::{configure, datasets, Algorithm};
-use hyve_core::{Engine, SystemConfig};
+use crate::workloads::{configure, datasets, session, Algorithm};
+use hyve_core::SystemConfig;
 
 /// One (algorithm, dataset) improvement factor.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,10 +26,8 @@ pub fn run() -> Vec<Row> {
         for alg in Algorithm::core_three() {
             let base_cfg = configure(SystemConfig::hyve().with_data_sharing(false), profile);
             let shared_cfg = configure(SystemConfig::hyve(), profile);
-            let base = alg.run_hyve(&Engine::new(base_cfg), graph).mteps_per_watt();
-            let shared = alg
-                .run_hyve(&Engine::new(shared_cfg), graph)
-                .mteps_per_watt();
+            let base = alg.run_hyve(&session(base_cfg), graph).mteps_per_watt();
+            let shared = alg.run_hyve(&session(shared_cfg), graph).mteps_per_watt();
             rows.push(Row {
                 algorithm: alg.tag(),
                 dataset: profile.tag,

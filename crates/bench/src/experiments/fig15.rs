@@ -1,8 +1,8 @@
 //! Fig. 15: energy-efficiency improvement from bank-level power gating,
 //! per algorithm and dataset (paper average: 1.53× over acc+HyVE).
 
-use crate::workloads::{configure, datasets, Algorithm};
-use hyve_core::{Engine, SystemConfig};
+use crate::workloads::{configure, datasets, session, Algorithm};
+use hyve_core::SystemConfig;
 
 /// One (algorithm, dataset) improvement factor.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,11 +21,11 @@ pub fn run() -> Vec<Row> {
     for (profile, graph) in &datasets() {
         for alg in Algorithm::core_three() {
             let base = alg
-                .run_hyve(&Engine::new(configure(SystemConfig::hyve(), profile)), graph)
+                .run_hyve(&session(configure(SystemConfig::hyve(), profile)), graph)
                 .mteps_per_watt();
             let gated = alg
                 .run_hyve(
-                    &Engine::new(configure(SystemConfig::hyve_opt(), profile)),
+                    &session(configure(SystemConfig::hyve_opt(), profile)),
                     graph,
                 )
                 .mteps_per_watt();

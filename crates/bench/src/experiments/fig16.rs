@@ -2,9 +2,9 @@
 //! configurations (two CPU baselines, five accelerator hierarchies) for
 //! BFS, CC and PR on every dataset.
 
-use crate::workloads::{configure, datasets, Algorithm};
+use crate::workloads::{configure, datasets, session, Algorithm};
 use hyve_baselines::CpuSystem;
-use hyve_core::{Engine, SystemConfig};
+use hyve_core::SystemConfig;
 
 /// Configuration labels in the paper's legend order.
 pub const CONFIGS: [&str; 7] = [
@@ -55,7 +55,7 @@ pub fn run() -> Vec<Row> {
             ];
             let mut edges_processed = 0;
             for (i, cfg) in acc_configs.into_iter().enumerate() {
-                let report = alg.run_hyve(&Engine::new(configure(cfg, profile)), graph);
+                let report = alg.run_hyve(&session(configure(cfg, profile)), graph);
                 edges_processed = report.edges_processed;
                 eff[2 + i] = report.mteps_per_watt();
             }

@@ -4,8 +4,8 @@
 //! The paper's takeaways: memory is 88.62% of SD's energy, 75.68% of
 //! HyVE's, 52.91% of opt's; the edge-memory bar is what collapses.
 
-use crate::workloads::{configure, datasets, Algorithm};
-use hyve_core::{Engine, SystemConfig};
+use crate::workloads::{configure, datasets, session, Algorithm};
+use hyve_core::SystemConfig;
 
 /// One (config, algorithm, dataset) breakdown, in percent.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,8 +42,7 @@ pub fn run() -> Vec<Row> {
     for (label, cfg) in configs {
         for (profile, graph) in &datasets() {
             for alg in Algorithm::core_three() {
-                let report =
-                    alg.run_hyve(&Engine::new(configure(cfg.clone(), profile)), graph);
+                let report = alg.run_hyve(&session(configure(cfg.clone(), profile)), graph);
                 let total = report.energy().as_pj();
                 let b = &report.breakdown;
                 rows.push(Row {

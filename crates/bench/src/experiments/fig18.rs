@@ -4,8 +4,8 @@
 //! nothing in raw performance (geometric-mean slowdowns of 1.9%, 2.5% and
 //! 15.1% for BFS, CC, PR).
 
-use crate::workloads::{configure, datasets, Algorithm};
-use hyve_core::{Engine, SystemConfig};
+use crate::workloads::{configure, datasets, session, Algorithm};
+use hyve_core::SystemConfig;
 
 /// One (algorithm, dataset) performance ratio.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,12 +25,12 @@ pub fn run() -> Vec<Row> {
         for alg in Algorithm::core_three() {
             let sd = alg
                 .run_hyve(
-                    &Engine::new(configure(SystemConfig::acc_sram_dram(), profile)),
+                    &session(configure(SystemConfig::acc_sram_dram(), profile)),
                     graph,
                 )
                 .elapsed();
             let hyve = alg
-                .run_hyve(&Engine::new(configure(SystemConfig::hyve(), profile)), graph)
+                .run_hyve(&session(configure(SystemConfig::hyve(), profile)), graph)
                 .elapsed();
             rows.push(Row {
                 algorithm: alg.tag(),

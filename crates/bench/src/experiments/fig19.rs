@@ -4,9 +4,9 @@
 //! dense counting-sort into its planned P×P grid versus GraphR's
 //! associative build of `⌈V/8⌉²` logical 8×8 blocks.
 
-use crate::workloads::{configure, datasets};
+use crate::workloads::{configure, datasets, session};
 use hyve_algorithms::PageRank;
-use hyve_core::{Engine, SystemConfig};
+use hyve_core::SystemConfig;
 use hyve_graph::GridGraph;
 use std::time::Instant;
 
@@ -38,7 +38,7 @@ pub fn run() -> Vec<Row> {
     datasets()
         .iter()
         .map(|(profile, graph)| {
-            let engine = Engine::new(configure(SystemConfig::hyve(), profile));
+            let engine = session(configure(SystemConfig::hyve(), profile));
             let p = engine.plan_intervals(&PageRank::new(10), graph.num_vertices());
             let hyve_s = best_of(|| {
                 let grid = GridGraph::partition(graph, p).expect("partition");

@@ -2,8 +2,8 @@
 //! five algorithms (paper: HyVE 5.12× faster, 2.83× less energy, 17.63×
 //! lower EDP on average).
 
-use crate::workloads::{configure, datasets, Algorithm};
-use hyve_core::{Engine, SystemConfig};
+use crate::workloads::{configure, datasets, session, Algorithm};
+use hyve_core::SystemConfig;
 use hyve_graphr::GraphrEngine;
 
 /// One (algorithm, dataset) ratio triple (GraphR / HyVE; > 1 favours HyVE).
@@ -26,7 +26,7 @@ pub fn run() -> Vec<Row> {
     let graphr = GraphrEngine::new();
     let mut rows = Vec::new();
     for (profile, graph) in &datasets() {
-        let hyve = Engine::new(configure(SystemConfig::hyve(), profile));
+        let hyve = session(configure(SystemConfig::hyve(), profile));
         for alg in Algorithm::all_five() {
             let h = alg.run_hyve(&hyve, graph);
             let g = alg.run_graphr(&graphr, graph);
@@ -70,5 +70,7 @@ pub fn print() {
         &cells,
     );
     let (d, e, x) = means(&rows);
-    println!("means: delay {d:.2}x (paper 5.12), energy {e:.2}x (paper 2.83), EDP {x:.2}x (paper 17.63)");
+    println!(
+        "means: delay {d:.2}x (paper 5.12), energy {e:.2}x (paper 2.83), EDP {x:.2}x (paper 17.63)"
+    );
 }

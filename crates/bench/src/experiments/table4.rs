@@ -3,8 +3,8 @@
 //! every dataset — the design-space exploration behind the paper's SRAM
 //! sweet-spot conclusion.
 
-use crate::workloads::{configure, datasets, Algorithm};
-use hyve_core::{Engine, SystemConfig};
+use crate::workloads::{configure, datasets, session, Algorithm};
+use hyve_core::SystemConfig;
 
 /// SRAM capacities of the paper's sweep.
 pub const SRAM_MB: [u64; 4] = [2, 4, 8, 16];
@@ -53,7 +53,7 @@ pub fn run() -> Vec<Row> {
                                 .with_power_gating(gating),
                             profile,
                         );
-                        let report = alg.run_hyve(&Engine::new(cfg), graph);
+                        let report = alg.run_hyve(&session(cfg), graph);
                         eff[i] = report.mteps_per_watt();
                     }
                     rows.push(Row {

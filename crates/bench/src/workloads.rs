@@ -1,7 +1,7 @@
 //! Shared workload construction: datasets, algorithms and run helpers.
 
 use hyve_algorithms::{Bfs, ConnectedComponents, PageRank, SpMv, Sssp};
-use hyve_core::{Engine, RunReport, SystemConfig};
+use hyve_core::{ExecutionStrategy, RunReport, SimulationSession, SystemConfig};
 use hyve_graph::{DatasetProfile, EdgeList, VertexId};
 
 /// Seed used for every generated dataset so all experiments see the same
@@ -36,6 +36,29 @@ pub fn scale_for(profile: &DatasetProfile) -> u32 {
 /// Applies the profile's scale factor to a configuration.
 pub fn configure(cfg: SystemConfig, profile: &DatasetProfile) -> SystemConfig {
     cfg.with_dataset_scale(scale_for(profile))
+}
+
+/// The execution strategy all experiments run under. Set
+/// `HYVE_BENCH_THREADS=<n>` to fan the per-PU work out over `n` OS threads;
+/// results are bit-identical either way.
+pub fn strategy() -> ExecutionStrategy {
+    match std::env::var("HYVE_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(threads) if threads > 1 => ExecutionStrategy::Parallel { threads },
+        _ => ExecutionStrategy::Sequential,
+    }
+}
+
+/// Builds a validated session for `cfg` under the benchmark
+/// [`strategy`]. All experiment configurations are statically valid, so
+/// construction failure is a bug worth aborting on.
+pub fn session(cfg: SystemConfig) -> SimulationSession {
+    SimulationSession::builder(cfg)
+        .strategy(strategy())
+        .build()
+        .expect("benchmark configuration is valid")
 }
 
 /// The three core algorithms of the main evaluation (§7.1).
@@ -81,16 +104,14 @@ impl Algorithm {
         }
     }
 
-    /// Runs this algorithm on the HyVE engine.
-    pub fn run_hyve(self, engine: &Engine, graph: &EdgeList) -> RunReport {
+    /// Runs this algorithm on a HyVE simulation session.
+    pub fn run_hyve(self, session: &SimulationSession, graph: &EdgeList) -> RunReport {
         match self {
-            Algorithm::Pr => engine.run_on_edge_list(&PageRank::new(10), graph),
-            Algorithm::Bfs => engine.run_on_edge_list(&Bfs::new(VertexId::new(0)), graph),
-            Algorithm::Cc => engine.run_on_edge_list(&ConnectedComponents::new(), graph),
-            Algorithm::Sssp => {
-                engine.run_on_edge_list(&Sssp::new(VertexId::new(0)), graph)
-            }
-            Algorithm::SpMv => engine.run_on_edge_list(&SpMv::new(), graph),
+            Algorithm::Pr => session.run_on_edge_list(&PageRank::new(10), graph),
+            Algorithm::Bfs => session.run_on_edge_list(&Bfs::new(VertexId::new(0)), graph),
+            Algorithm::Cc => session.run_on_edge_list(&ConnectedComponents::new(), graph),
+            Algorithm::Sssp => session.run_on_edge_list(&Sssp::new(VertexId::new(0)), graph),
+            Algorithm::SpMv => session.run_on_edge_list(&SpMv::new(), graph),
         }
         .expect("engine run failed")
     }
@@ -132,7 +153,10 @@ mod tests {
 
     #[test]
     fn algorithm_tags() {
-        assert_eq!(Algorithm::core_three().map(|a| a.tag()), ["BFS", "CC", "PR"]);
+        assert_eq!(
+            Algorithm::core_three().map(|a| a.tag()),
+            ["BFS", "CC", "PR"]
+        );
         assert_eq!(Algorithm::all_five().len(), 5);
     }
 }

@@ -62,7 +62,7 @@ fn fig10_interval_planner_at_original_scale() {
     // 2 MB SRAM, 32-bit records: 1.16 M vertices ⇒ P = ceil(74.2/2)… = 40.
     let p = e::fig10::original_scale_intervals(1_160_000);
     assert_eq!(p % 8, 0);
-    assert!(p >= 32 && p <= 48, "got {p}");
+    assert!((32..=48).contains(&p), "got {p}");
     assert_eq!(e::fig10::original_scale_intervals(1), 8);
 }
 
@@ -70,8 +70,18 @@ fn fig10_interval_planner_at_original_scale() {
 fn fig11_hyve_wins_on_all_small_datasets() {
     small_mode();
     for r in e::fig11::run() {
-        assert!(r.delay_ratio > 1.0, "{}: delay {}", r.dataset, r.delay_ratio);
-        assert!(r.energy_ratio > 1.0, "{}: energy {}", r.dataset, r.energy_ratio);
+        assert!(
+            r.delay_ratio > 1.0,
+            "{}: delay {}",
+            r.dataset,
+            r.delay_ratio
+        );
+        assert!(
+            r.energy_ratio > 1.0,
+            "{}: energy {}",
+            r.dataset,
+            r.energy_ratio
+        );
         assert!(r.edp_ratio > 1.0, "{}: EDP {}", r.dataset, r.edp_ratio);
         assert!((r.write_count_ratio - 1.0).abs() < 1e-9);
     }
@@ -114,6 +124,6 @@ fn fig20_request_mix_has_paper_proportions() {
 fn formatting_helpers() {
     assert_eq!(hyve_bench::fmt_f(0.0), "0");
     assert_eq!(hyve_bench::fmt_f(1234.0), "1234");
-    assert_eq!(hyve_bench::fmt_f(3.14159), "3.14");
+    assert_eq!(hyve_bench::fmt_f(1.23456), "1.23");
     assert_eq!(hyve_bench::fmt_f(0.0123), "0.012");
 }

@@ -57,6 +57,8 @@ pub struct RunArgs {
     pub no_sharing: bool,
     /// Disable power gating.
     pub no_gating: bool,
+    /// Worker threads for the simulation (1 = sequential).
+    pub threads: usize,
 }
 
 /// `hyve compare` arguments.
@@ -66,6 +68,8 @@ pub struct CompareArgs {
     pub algorithm: String,
     /// Graph source.
     pub source: SourceArgs,
+    /// Worker threads for the simulation (1 = sequential).
+    pub threads: usize,
 }
 
 /// `hyve sweep` arguments.
@@ -75,6 +79,8 @@ pub struct SweepArgs {
     pub what: String,
     /// Graph source.
     pub source: SourceArgs,
+    /// Worker threads for the simulation (1 = sequential).
+    pub threads: usize,
 }
 
 /// `hyve recommend` arguments.
@@ -120,9 +126,9 @@ fn flags(argv: &[String]) -> Result<HashMap<String, String>, CliError> {
             map.insert(name.to_string(), "true".to_string());
             i += 1;
         } else {
-            let value = argv.get(i + 1).ok_or_else(|| {
-                CliError::Usage(format!("flag --{name} needs a value"))
-            })?;
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| CliError::Usage(format!("flag --{name} needs a value")))?;
             map.insert(name.to_string(), value.clone());
             i += 2;
         }
@@ -195,13 +201,13 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             sram_mb: map
                 .get("sram-mb")
                 .map(|v| {
-                    v.parse::<u64>().map_err(|_| {
-                        CliError::Usage(format!("--sram-mb got invalid value '{v}'"))
-                    })
+                    v.parse::<u64>()
+                        .map_err(|_| CliError::Usage(format!("--sram-mb got invalid value '{v}'")))
                 })
                 .transpose()?,
             no_sharing: map.contains_key("no-sharing"),
             no_gating: map.contains_key("no-gating"),
+            threads: get_num(&map, "threads", Some(1usize))?,
         })),
         "compare" => Ok(Command::Compare(CompareArgs {
             algorithm: map
@@ -209,6 +215,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 .ok_or_else(|| CliError::Usage("--alg is required".into()))?
                 .to_lowercase(),
             source: get_source(&map)?,
+            threads: get_num(&map, "threads", Some(1usize))?,
         })),
         "sweep" => Ok(Command::Sweep(SweepArgs {
             what: map
@@ -216,6 +223,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 .ok_or_else(|| CliError::Usage("--what is required".into()))?
                 .to_lowercase(),
             source: get_source(&map)?,
+            threads: get_num(&map, "threads", Some(1usize))?,
         })),
         "recommend" => Ok(Command::Recommend(RecommendArgs {
             vertices: get_num(&map, "vertices", None)?,
@@ -292,6 +300,19 @@ mod tests {
     }
 
     #[test]
+    fn parses_threads_flag() {
+        match parse(&argv("run --alg pr --dataset yt --threads 4")).unwrap() {
+            Command::Run(r) => assert_eq!(r.threads, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("compare --alg pr --dataset yt")).unwrap() {
+            Command::Compare(c) => assert_eq!(c.threads, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("sweep --what sram --dataset yt --threads x")).is_err());
+    }
+
+    #[test]
     fn dataset_and_input_conflict() {
         let err = parse(&argv("run --alg pr --dataset yt --input g.txt")).unwrap_err();
         assert!(err.to_string().contains("mutually exclusive"));
@@ -325,8 +346,7 @@ mod tests {
 
     #[test]
     fn recommend_defaults() {
-        let cmd =
-            parse(&argv("recommend --vertices 1000 --edges 5000")).unwrap();
+        let cmd = parse(&argv("recommend --vertices 1000 --edges 5000")).unwrap();
         match cmd {
             Command::Recommend(r) => {
                 assert_eq!(r.navg, 1.5);

@@ -1,13 +1,12 @@
 //! Command implementations for the `hyve` CLI.
 
 use crate::args::{
-    Command, CompareArgs, GenArgs, GraphSource, RecommendArgs, RunArgs, SourceArgs,
-    SweepArgs,
+    Command, CompareArgs, GenArgs, GraphSource, RecommendArgs, RunArgs, SourceArgs, SweepArgs,
 };
 use crate::CliError;
 use hyve_algorithms::{Bfs, ConnectedComponents, DegreeCentrality, PageRank, SpMv, Sssp};
 use hyve_baselines::CpuSystem;
-use hyve_core::{Engine, RunReport, SystemConfig};
+use hyve_core::{RunReport, SimulationSession, SystemConfig};
 use hyve_graph::{block_sparsity, io, DatasetProfile, EdgeList, Rmat, VertexId};
 use hyve_graphr::GraphrEngine;
 use hyve_memsim::CellBits;
@@ -40,9 +39,7 @@ fn profile_by_tag(tag: &str) -> Result<DatasetProfile, CliError> {
     DatasetProfile::all()
         .into_iter()
         .find(|p| p.tag.eq_ignore_ascii_case(tag))
-        .ok_or_else(|| {
-            CliError::Usage(format!("unknown dataset '{tag}' (use yt/wk/as/lj/tw)"))
-        })
+        .ok_or_else(|| CliError::Usage(format!("unknown dataset '{tag}' (use yt/wk/as/lj/tw)")))
 }
 
 /// Loads the graph and (for dataset profiles) the matching scale factor.
@@ -59,7 +56,11 @@ fn load(source: &SourceArgs) -> Result<(EdgeList, u32, String), CliError> {
                 .map_err(|e| CliError::Failed(format!("open {path}: {e}")))?;
             let graph = io::parse(std::io::BufReader::new(file))
                 .map_err(|e| CliError::Failed(e.to_string()))?;
-            let name = format!("{path}: {} vertices, {} edges", graph.num_vertices(), graph.len());
+            let name = format!(
+                "{path}: {} vertices, {} edges",
+                graph.num_vertices(),
+                graph.len()
+            );
             Ok((graph, 1, name))
         }
     }
@@ -80,19 +81,30 @@ fn config_by_name(name: &str) -> Result<SystemConfig, CliError> {
     })
 }
 
+/// Builds a session with `threads` workers, surfacing configuration and
+/// thread-count problems as usage errors.
+fn session_for(cfg: SystemConfig, threads: usize) -> Result<SimulationSession, CliError> {
+    let builder = SimulationSession::builder(cfg);
+    let builder = match threads {
+        1 => builder.sequential(),
+        n => builder.parallel(n),
+    };
+    builder.build().map_err(|e| CliError::Usage(e.to_string()))
+}
+
 fn run_algorithm(
     name: &str,
-    engine: &Engine,
+    session: &SimulationSession,
     graph: &EdgeList,
     iterations: u32,
 ) -> Result<RunReport, CliError> {
     let result = match name {
-        "pr" => engine.run_on_edge_list(&PageRank::new(iterations), graph),
-        "bfs" => engine.run_on_edge_list(&Bfs::new(VertexId::new(0)), graph),
-        "cc" => engine.run_on_edge_list(&ConnectedComponents::new(), graph),
-        "sssp" => engine.run_on_edge_list(&Sssp::new(VertexId::new(0)), graph),
-        "spmv" => engine.run_on_edge_list(&SpMv::new(), graph),
-        "degree" => engine.run_on_edge_list(&DegreeCentrality::new(), graph),
+        "pr" => session.run_on_edge_list(&PageRank::new(iterations), graph),
+        "bfs" => session.run_on_edge_list(&Bfs::new(VertexId::new(0)), graph),
+        "cc" => session.run_on_edge_list(&ConnectedComponents::new(), graph),
+        "sssp" => session.run_on_edge_list(&Sssp::new(VertexId::new(0)), graph),
+        "spmv" => session.run_on_edge_list(&SpMv::new(), graph),
+        "degree" => session.run_on_edge_list(&DegreeCentrality::new(), graph),
         other => {
             return Err(CliError::Usage(format!(
                 "unknown algorithm '{other}' (use pr/bfs/cc/sssp/spmv/degree)"
@@ -114,8 +126,8 @@ fn run<W: Write>(args: RunArgs, out: &mut W) -> Result<(), CliError> {
     if args.no_gating {
         cfg = cfg.with_power_gating(false);
     }
-    cfg.validate().map_err(|e| CliError::Usage(e.to_string()))?;
-    let report = run_algorithm(&args.algorithm, &Engine::new(cfg), &graph, args.iterations)?;
+    let session = session_for(cfg, args.threads)?;
+    let report = run_algorithm(&args.algorithm, &session, &graph, args.iterations)?;
     writeln!(out, "graph : {name}").map_err(io_err)?;
     writeln!(out, "{report}").map_err(io_err)?;
     writeln!(
@@ -142,7 +154,8 @@ fn compare<W: Write>(args: CompareArgs, out: &mut W) -> Result<(), CliError> {
     ] {
         let cfg = cfg.with_dataset_scale(scale);
         let label = cfg.name;
-        let report = run_algorithm(&args.algorithm, &Engine::new(cfg), &graph, 10)?;
+        let session = session_for(cfg, args.threads)?;
+        let report = run_algorithm(&args.algorithm, &session, &graph, 10)?;
         edges_processed = report.edges_processed;
         writeln!(
             out,
@@ -160,9 +173,7 @@ fn compare<W: Write>(args: CompareArgs, out: &mut W) -> Result<(), CliError> {
         "cc" => GraphrEngine::new().run(&ConnectedComponents::new(), &graph),
         "sssp" => GraphrEngine::new().run(&Sssp::new(VertexId::new(0)), &graph),
         "spmv" => GraphrEngine::new().run(&SpMv::new(), &graph),
-        other => {
-            return Err(CliError::Usage(format!("unknown algorithm '{other}'")))
-        }
+        other => return Err(CliError::Usage(format!("unknown algorithm '{other}'"))),
     }
     .map_err(|e| CliError::Failed(e.to_string()))?;
     writeln!(
@@ -195,7 +206,7 @@ fn sweep<W: Write>(args: SweepArgs, out: &mut W) -> Result<(), CliError> {
             for mb in [2u64, 4, 8, 16] {
                 let report = run_algorithm(
                     "pr",
-                    &Engine::new(base.clone().with_sram_mb(mb)),
+                    &session_for(base.clone().with_sram_mb(mb), args.threads)?,
                     &graph,
                     10,
                 )?;
@@ -212,7 +223,7 @@ fn sweep<W: Write>(args: SweepArgs, out: &mut W) -> Result<(), CliError> {
             for bits in CellBits::all() {
                 let report = run_algorithm(
                     "pr",
-                    &Engine::new(base.clone().with_cell_bits(bits)),
+                    &session_for(base.clone().with_cell_bits(bits), args.threads)?,
                     &graph,
                     10,
                 )?;
@@ -224,12 +235,16 @@ fn sweep<W: Write>(args: SweepArgs, out: &mut W) -> Result<(), CliError> {
             for gbit in [4u32, 8, 16] {
                 let report = run_algorithm(
                     "pr",
-                    &Engine::new(base.clone().with_density(gbit)),
+                    &session_for(base.clone().with_density(gbit), args.threads)?,
                     &graph,
                     10,
                 )?;
-                writeln!(out, "{gbit:>2} Gb : {:>8.1} MTEPS/W", report.mteps_per_watt())
-                    .map_err(io_err)?;
+                writeln!(
+                    out,
+                    "{gbit:>2} Gb : {:>8.1} MTEPS/W",
+                    report.mteps_per_watt()
+                )
+                .map_err(io_err)?;
             }
         }
         other => {
@@ -253,10 +268,13 @@ fn recommend_cmd<W: Write>(args: RecommendArgs, out: &mut W) -> Result<(), CliEr
         }
     };
     // Default partitions: what the planner would pick for PR at 2 MB.
-    let partitions = args.partitions.unwrap_or_else(|| {
-        let engine = Engine::new(SystemConfig::hyve_opt().with_dataset_scale(1));
-        engine.plan_intervals(&PageRank::new(10), args.vertices.min(u64::from(u32::MAX)) as u32)
-    });
+    let partitions = match args.partitions {
+        Some(p) => p,
+        None => session_for(SystemConfig::hyve_opt().with_dataset_scale(1), 1)?.plan_intervals(
+            &PageRank::new(10),
+            args.vertices.min(u64::from(u32::MAX)) as u32,
+        ),
+    };
     let shape = WorkloadShape {
         num_vertices: args.vertices,
         num_edges: args.edges,
@@ -291,7 +309,11 @@ fn info<W: Write>(args: SourceArgs, out: &mut W) -> Result<(), CliError> {
         out,
         "degree skew (CoV) : {:.2}{}",
         deg.coefficient_of_variation,
-        if deg.is_skewed() { " (heavy-tailed)" } else { "" }
+        if deg.is_skewed() {
+            " (heavy-tailed)"
+        } else {
+            ""
+        }
     )
     .map_err(io_err)?;
     writeln!(
@@ -302,7 +324,7 @@ fn info<W: Write>(args: SourceArgs, out: &mut W) -> Result<(), CliError> {
     .map_err(io_err)?;
     writeln!(out, "8x8 blocks (used) : {}", stats.non_empty_blocks).map_err(io_err)?;
     writeln!(out, "Navg              : {:.2}", stats.avg_edges_per_block).map_err(io_err)?;
-    let p = Engine::new(SystemConfig::hyve_opt())
+    let p = session_for(SystemConfig::hyve_opt(), 1)?
         .plan_intervals(&PageRank::new(10), graph.num_vertices());
     writeln!(out, "planned intervals : {p} (PR, 2 MB SRAM, scaled)").map_err(io_err)
 }
@@ -353,6 +375,18 @@ mod tests {
         assert!(exec("run --alg nope --dataset yt").is_err());
         assert!(exec("run --alg pr --dataset nope").is_err());
         assert!(exec("run --alg pr --dataset yt --config nope").is_err());
+    }
+
+    #[test]
+    fn run_with_threads_matches_sequential() {
+        let seq = exec("run --alg pr --dataset yt --iters 2").unwrap();
+        let par = exec("run --alg pr --dataset yt --iters 2 --threads 4").unwrap();
+        assert_eq!(seq, par, "parallel output must be bit-identical");
+    }
+
+    #[test]
+    fn run_rejects_zero_threads() {
+        assert!(exec("run --alg pr --dataset yt --threads 0").is_err());
     }
 
     #[test]

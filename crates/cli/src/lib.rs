@@ -58,9 +58,9 @@ hyve — Hybrid Vertex-Edge memory hierarchy simulator
 
 USAGE:
   hyve run       --alg <pr|bfs|cc|sssp|spmv> [--config <name>] (--dataset <tag> | --input <file>)
-                 [--iters N] [--seed N] [--sram-mb N] [--no-sharing] [--no-gating]
-  hyve compare   --alg <name> (--dataset <tag> | --input <file>) [--seed N]
-  hyve sweep     --what <sram|cells|density> (--dataset <tag> | --input <file>)
+                 [--iters N] [--seed N] [--sram-mb N] [--no-sharing] [--no-gating] [--threads N]
+  hyve compare   --alg <name> (--dataset <tag> | --input <file>) [--seed N] [--threads N]
+  hyve sweep     --what <sram|cells|density> (--dataset <tag> | --input <file>) [--threads N]
   hyve recommend --vertices N --edges M [--partitions P] [--navg X] [--objective <latency|energy|edp>]
   hyve info      (--dataset <tag> | --input <file>)
   hyve gen       --vertices N --edges M --out <file> [--seed N]

@@ -218,8 +218,7 @@ impl SystemConfig {
         }
         if self.power_gating && self.edge_memory == EdgeMemoryKind::Dram {
             return Err(CoreError::InvalidConfig {
-                message: "bank-level power gating requires nonvolatile (ReRAM) edge memory"
-                    .into(),
+                message: "bank-level power gating requires nonvolatile (ReRAM) edge memory".into(),
             });
         }
         Ok(())

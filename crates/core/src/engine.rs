@@ -25,6 +25,7 @@
 
 use crate::config::{EdgeMemoryKind, SystemConfig, VertexMemoryKind};
 use crate::error::CoreError;
+use crate::exec::{fan_out, BlockPlan, ExecutionStrategy};
 use crate::pu::ProcessingUnit;
 use crate::router::Router;
 use crate::stats::{EnergyBreakdown, PhaseTimes, RunReport};
@@ -124,12 +125,10 @@ impl Engine {
             ExecutionMode::Accumulate => 2u64,
             ExecutionMode::Monotone => 1u64,
         };
-        let bytes_per_vertex =
-            (u64::from(program.value_bits()).div_ceil(8)).max(1) * state_words;
+        let bytes_per_vertex = (u64::from(program.value_bits()).div_ceil(8)).max(1) * state_words;
         // Effective capacity: the physical SRAM shrunk by the dataset scale,
         // so the vertex-data : SRAM ratio matches the full-size experiment.
-        let sram_bytes =
-            (sram_mb * 1024 * 1024 / u64::from(self.config.dataset_scale)).max(1);
+        let sram_bytes = (sram_mb * 1024 * 1024 / u64::from(self.config.dataset_scale)).max(1);
         let needed = 2 * u64::from(n) * u64::from(num_vertices) * bytes_per_vertex;
         let min_p = needed.div_ceil(sram_bytes).max(1) as u32;
         // Round up to a multiple of N, cap at the vertex count.
@@ -192,10 +191,23 @@ impl Engine {
         program: &P,
         grid: &GridGraph,
     ) -> Result<(RunReport, Vec<P::Value>), CoreError> {
+        self.run_with_values_strategy(program, grid, ExecutionStrategy::Sequential)
+    }
+
+    /// Runs under an explicit [`ExecutionStrategy`]. Any thread count yields
+    /// output bit-identical to the sequential path: per-PU outcomes are pure
+    /// functions of the iteration-start snapshot and reduce in fixed PU
+    /// order (see [`crate::exec`]).
+    pub(crate) fn run_with_values_strategy<P: EdgeProgram>(
+        &self,
+        program: &P,
+        grid: &GridGraph,
+        strategy: ExecutionStrategy,
+    ) -> Result<(RunReport, Vec<P::Value>), CoreError> {
         self.config.validate()?;
         let n = self.config.num_pus;
         let p = grid.num_intervals();
-        if p % n != 0 && p >= n {
+        if !p.is_multiple_of(n) && p >= n {
             return Err(CoreError::Unschedulable {
                 message: format!("{p} intervals not divisible by {n} processing units"),
             });
@@ -205,13 +217,15 @@ impl Engine {
                 message: format!("{p} intervals < {n} processing units"),
             });
         }
+        let schedule = crate::schedule::SuperBlockSchedule::new(p, n).expect("shape checked above");
+        let plan = BlockPlan::build(grid, &schedule, strategy);
 
         // ---- functional pass -------------------------------------------
-        let (values, iterations, changed_per_iter) = self.functional_run(program, grid);
+        let (values, iterations, changed_per_iter) =
+            self.functional_run(program, grid, &plan, strategy);
 
         // ---- cost pass --------------------------------------------------
-        let report =
-            self.account(program, grid, iterations, &changed_per_iter)?;
+        let report = self.account(program, grid, iterations, &changed_per_iter, &plan)?;
         Ok((report, values))
     }
 
@@ -229,24 +243,12 @@ impl Engine {
     ) -> Result<PreprocessingReport, CoreError> {
         self.config.validate()?;
         let edge_mem: Box<dyn MemoryDevice> = match self.config.edge_memory {
-            EdgeMemoryKind::Reram => Box::new(
-                ReramChip::try_new(self.config.reram_config())
-                    .map_err(|m| CoreError::InvalidConfig { message: m })?,
-            ),
-            EdgeMemoryKind::Dram => Box::new(
-                DramChip::try_new(self.config.dram_config())
-                    .map_err(|m| CoreError::InvalidConfig { message: m })?,
-            ),
+            EdgeMemoryKind::Reram => Box::new(ReramChip::try_new(self.config.reram_config())?),
+            EdgeMemoryKind::Dram => Box::new(DramChip::try_new(self.config.dram_config())?),
         };
         let vertex_mem: Box<dyn MemoryDevice> = match self.config.offchip_vertex {
-            VertexMemoryKind::Dram => Box::new(
-                DramChip::try_new(self.config.dram_config())
-                    .map_err(|m| CoreError::InvalidConfig { message: m })?,
-            ),
-            VertexMemoryKind::Reram => Box::new(
-                ReramChip::try_new(self.config.reram_config())
-                    .map_err(|m| CoreError::InvalidConfig { message: m })?,
-            ),
+            VertexMemoryKind::Dram => Box::new(DramChip::try_new(self.config.dram_config())?),
+            VertexMemoryKind::Reram => Box::new(ReramChip::try_new(self.config.reram_config())?),
         };
         let edge_bits = grid.edge_storage_bits();
         let vertex_bits = grid.vertex_storage_bits(u64::from(program.value_bits()));
@@ -265,11 +267,24 @@ impl Engine {
         })
     }
 
-    /// Executes the program over the grid in Algorithm 2's block order.
+    /// Executes the program over the grid, one snapshot-based pass per
+    /// iteration.
+    ///
+    /// Each PU walks its own blocks (in schedule order) against the
+    /// iteration-start snapshot — accumulate programs into a per-PU
+    /// accumulator, monotone programs into a per-PU working copy that sees
+    /// the PU's *own* earlier writes. The per-PU outcomes then reduce into
+    /// the global values in **fixed PU order** via [`EdgeProgram::merge`],
+    /// so the result is a pure function of `(program, grid, schedule)` and
+    /// is bit-identical for every [`ExecutionStrategy`]. Monotone merges are
+    /// semilattice joins (min for BFS/CC/SSSP), so the reduction preserves
+    /// monotonicity and converges to the same fixpoint as the references.
     fn functional_run<P: EdgeProgram>(
         &self,
         program: &P,
         grid: &GridGraph,
+        plan: &BlockPlan,
+        strategy: ExecutionStrategy,
     ) -> (Vec<P::Value>, u32, Vec<bool>) {
         let meta = GraphMeta {
             num_vertices: grid.num_vertices(),
@@ -287,80 +302,81 @@ impl Engine {
             .map(|v| program.init(VertexId::new(v), &meta))
             .collect();
         let bound = program.bound();
-        let n = self.config.num_pus;
-        let p = grid.num_intervals();
         let mut iterations = 0;
         let mut changed_flags = Vec::new();
 
         for _ in 0..bound.max_iterations() {
             iterations += 1;
-            let mut changed = false;
-            let mut acc: Option<Vec<P::Value>> = match program.mode() {
-                ExecutionMode::Accumulate => Some(vec![program.identity(); nv]),
-                ExecutionMode::Monotone => None,
-            };
-            // Algorithm 2's exact order, via the schedule abstraction.
-            let schedule = crate::schedule::SuperBlockSchedule::new(p, n)
-                .expect("validated in run_with_values");
-            for (_, assignments) in schedule.iter() {
-                {
-                    for a in assignments {
-                        {
-                            let block = grid.block_at(a.src_interval, a.dst_interval);
-                            for e in block.edges() {
-                                match &mut acc {
-                                    Some(acc) => {
-                                        let msg =
-                                            program.scatter(values[e.src.index()], e, &meta);
-                                        acc[e.dst.index()] =
-                                            program.merge(acc[e.dst.index()], msg);
-                                        if program.undirected() {
-                                            let msg = program.scatter(
-                                                values[e.dst.index()],
-                                                &e.reversed(),
-                                                &meta,
-                                            );
-                                            acc[e.src.index()] =
-                                                program.merge(acc[e.src.index()], msg);
-                                        }
-                                    }
-                                    None => {
-                                        let msg =
-                                            program.scatter(values[e.src.index()], e, &meta);
-                                        let merged =
-                                            program.merge(values[e.dst.index()], msg);
-                                        if merged != values[e.dst.index()] {
-                                            values[e.dst.index()] = merged;
-                                            changed = true;
-                                        }
-                                        if program.undirected() {
-                                            let msg = program.scatter(
-                                                values[e.dst.index()],
-                                                &e.reversed(),
-                                                &meta,
-                                            );
-                                            let merged =
-                                                program.merge(values[e.src.index()], msg);
-                                            if merged != values[e.src.index()] {
-                                                values[e.src.index()] = merged;
-                                                changed = true;
-                                            }
-                                        }
-                                    }
-                                }
+            // Fan the per-PU block work out; each worker reads only the
+            // iteration-start snapshot plus its own writes.
+            let snapshot = &values;
+            let per_pu: Vec<Vec<P::Value>> = fan_out(strategy, plan.num_pus(), |pu| match program
+                .mode()
+            {
+                ExecutionMode::Accumulate => {
+                    let mut acc = vec![program.identity(); nv];
+                    for &(src, dst) in plan.blocks(pu) {
+                        for e in grid.block_at(src, dst).edges() {
+                            let msg = program.scatter(snapshot[e.src.index()], e, &meta);
+                            acc[e.dst.index()] = program.merge(acc[e.dst.index()], msg);
+                            if program.undirected() {
+                                let msg =
+                                    program.scatter(snapshot[e.dst.index()], &e.reversed(), &meta);
+                                acc[e.src.index()] = program.merge(acc[e.src.index()], msg);
                             }
                         }
                     }
+                    acc
                 }
-            }
-            if let Some(acc) = acc {
-                for v in 0..nv {
-                    let new =
-                        program.apply(VertexId::new(v as u32), acc[v], values[v], &meta);
-                    if new != values[v] {
-                        changed = true;
+                ExecutionMode::Monotone => {
+                    let mut local = snapshot.clone();
+                    for &(src, dst) in plan.blocks(pu) {
+                        for e in grid.block_at(src, dst).edges() {
+                            let msg = program.scatter(local[e.src.index()], e, &meta);
+                            local[e.dst.index()] = program.merge(local[e.dst.index()], msg);
+                            if program.undirected() {
+                                let msg =
+                                    program.scatter(local[e.dst.index()], &e.reversed(), &meta);
+                                local[e.src.index()] = program.merge(local[e.src.index()], msg);
+                            }
+                        }
                     }
-                    values[v] = new;
+                    local
+                }
+            });
+
+            // Reduce in fixed PU order — the determinism anchor.
+            let mut changed = false;
+            match program.mode() {
+                ExecutionMode::Accumulate => {
+                    let mut outcomes = per_pu.into_iter();
+                    let mut total = outcomes
+                        .next()
+                        .unwrap_or_else(|| vec![program.identity(); nv]);
+                    for acc in outcomes {
+                        for (t, a) in total.iter_mut().zip(acc) {
+                            *t = program.merge(*t, a);
+                        }
+                    }
+                    for v in 0..nv {
+                        let new =
+                            program.apply(VertexId::new(v as u32), total[v], values[v], &meta);
+                        if new != values[v] {
+                            changed = true;
+                        }
+                        values[v] = new;
+                    }
+                }
+                ExecutionMode::Monotone => {
+                    for local in per_pu {
+                        for (v, l) in values.iter_mut().zip(local) {
+                            let merged = program.merge(*v, l);
+                            if merged != *v {
+                                *v = merged;
+                                changed = true;
+                            }
+                        }
+                    }
                 }
             }
             changed_flags.push(changed);
@@ -379,6 +395,7 @@ impl Engine {
         grid: &GridGraph,
         iterations: u32,
         _changed: &[bool],
+        plan: &BlockPlan,
     ) -> Result<RunReport, CoreError> {
         let cfg = &self.config;
         let n = cfg.num_pus;
@@ -391,33 +408,15 @@ impl Engine {
 
         // ---- devices ----------------------------------------------------
         let edge_mem = match cfg.edge_memory {
-            EdgeMemoryKind::Reram => {
-                Channel::Reram(ReramChip::try_new(cfg.reram_config()).map_err(|m| {
-                    CoreError::InvalidConfig { message: m }
-                })?)
-            }
-            EdgeMemoryKind::Dram => {
-                Channel::Dram(DramChip::try_new(cfg.dram_config()).map_err(|m| {
-                    CoreError::InvalidConfig { message: m }
-                })?)
-            }
+            EdgeMemoryKind::Reram => Channel::Reram(ReramChip::try_new(cfg.reram_config())?),
+            EdgeMemoryKind::Dram => Channel::Dram(DramChip::try_new(cfg.dram_config())?),
         };
         let vertex_mem = match cfg.offchip_vertex {
-            VertexMemoryKind::Dram => {
-                Channel::Dram(DramChip::try_new(cfg.dram_config()).map_err(|m| {
-                    CoreError::InvalidConfig { message: m }
-                })?)
-            }
-            VertexMemoryKind::Reram => {
-                Channel::Reram(ReramChip::try_new(cfg.reram_config()).map_err(|m| {
-                    CoreError::InvalidConfig { message: m }
-                })?)
-            }
+            VertexMemoryKind::Dram => Channel::Dram(DramChip::try_new(cfg.dram_config())?),
+            VertexMemoryKind::Reram => Channel::Reram(ReramChip::try_new(cfg.reram_config())?),
         };
         let sram = match cfg.sram_config() {
-            Some(sc) => Some(SramArray::try_new(sc).map_err(|m| CoreError::InvalidConfig {
-                message: m,
-            })?),
+            Some(sc) => Some(SramArray::try_new(sc)?),
             None => None,
         };
         let router = cfg.data_sharing.then(|| Router::new(n));
@@ -441,12 +440,11 @@ impl Engine {
         // read another PU's source memory, so every step reloads its source
         // interval from off-chip — Nv·P source vertices per iteration
         // instead of Nv·P/N. Destination intervals stay resident either way.
-        let (dst_load_vertices, dst_store_vertices, src_load_vertices) =
-            if cfg.data_sharing {
-                (nv, nv, nv * u64::from(s))
-            } else {
-                (nv, nv, nv * u64::from(p))
-            };
+        let (dst_load_vertices, dst_store_vertices, src_load_vertices) = if cfg.data_sharing {
+            (nv, nv, nv * u64::from(s))
+        } else {
+            (nv, nv, nv * u64::from(p))
+        };
         let dst_load_bits = dst_load_vertices * value_bits;
         let src_load_bits = src_load_vertices * value_bits;
         let vdev = vertex_mem.device();
@@ -470,10 +468,8 @@ impl Engine {
             // request latencies pipeline behind the stream: the controller
             // keeps many requests outstanding, so latency only shows when it
             // exceeds the streaming time.
-            let stream = vdev
-                .sequential_read_time(load_bits / u64::from(VERTEX_CHANNEL_CHIPS));
-            let latency =
-                vdev.read_latency() * (interval_loads as f64 / OUTSTANDING_REQUESTS);
+            let stream = vdev.sequential_read_time(load_bits / u64::from(VERTEX_CHANNEL_CHIPS));
+            let latency = vdev.read_latency() * (interval_loads as f64 / OUTSTANDING_REQUESTS);
             let lt_channel = stream.max(latency);
             let lt_sram = sram.bulk_transfer_time(load_bits) / f64::from(n);
             loading_time = lt_channel.max(lt_sram);
@@ -496,13 +492,14 @@ impl Engine {
             // §3.2 reason HyVE keeps vertices in DRAM.
             let ut_channel = vdev.write_latency() * f64::from(p)
                 + vdev.sequential_write_period()
-                    * (store_bits
-                        .div_ceil(u64::from(vdev.output_bits() * VERTEX_CHANNEL_CHIPS)))
+                    * (store_bits.div_ceil(u64::from(vdev.output_bits() * VERTEX_CHANNEL_CHIPS)))
                         as f64;
             updating_time = ut_channel;
-            breakdown
-                .offchip_vertex
-                .record_write(store_bits, vdev.write_energy(store_bits), ut_channel);
+            breakdown.offchip_vertex.record_write(
+                store_bits,
+                vdev.write_energy(store_bits),
+                ut_channel,
+            );
             breakdown.onchip_vertex.record_read(
                 store_bits,
                 sram.bulk_read_energy(store_bits),
@@ -511,33 +508,19 @@ impl Engine {
 
             // Per-edge processing (Eq. 1 pipelining): stage period is the
             // max of edge supply, source read, destination read+write, PU.
-            let edges_per_access =
-                (u64::from(edev.output_bits()) / hyve_graph::Edge::BITS).max(1);
-            let edge_supply =
-                edev.burst_period() * (f64::from(n) / edges_per_access as f64);
+            let edges_per_access = (u64::from(edev.output_bits()) / hyve_graph::Edge::BITS).max(1);
+            let edge_supply = edev.burst_period() * (f64::from(n) / edges_per_access as f64);
             let src_stage = sram.word_read_latency() * words_per_value as f64;
-            let dst_stage = (sram.word_read_latency() + sram.word_write_latency())
-                * words_per_value as f64;
+            let dst_stage =
+                (sram.word_read_latency() + sram.word_write_latency()) * words_per_value as f64;
             let pu_stage = self.pu.pipelined_period();
-            let per_edge = edge_supply
-                .max(src_stage)
-                .max(dst_stage)
-                .max(pu_stage)
-                * traversal_factor as f64;
+            let per_edge =
+                edge_supply.max(src_stage).max(dst_stage).max(pu_stage) * traversal_factor as f64;
 
-            // Steps synchronise: each step costs the *largest* block in it.
-            let schedule = crate::schedule::SuperBlockSchedule::new(p, n)
-                .expect("validated above");
-            let mut proc = Time::ZERO;
-            for (_, assignments) in schedule.iter() {
-                let max_edges = assignments
-                    .iter()
-                    .map(|a| grid.block_at(a.src_interval, a.dst_interval).len())
-                    .max()
-                    .unwrap_or(0);
-                proc += per_edge * max_edges as f64;
-            }
-            processing_time = proc;
+            // Steps synchronise: each step costs the *largest* block in
+            // it. The per-step maxima are memoized in the block plan, so
+            // repeated runs over the same grid skip the grid re-scan.
+            processing_time = per_edge * plan.sync_edges() as f64;
 
             // Per-edge on-chip + PU energy.
             let traversals = ne * traversal_factor;
@@ -574,8 +557,7 @@ impl Engine {
             // Router: reroute per step; hop energy on every shared source read.
             if let Some(router) = &router {
                 let steps = u64::from(s * s) * u64::from(n);
-                let hop = router.hop_energy_per_word()
-                    * (traversals * words_per_value) as f64
+                let hop = router.hop_energy_per_word() * (traversals * words_per_value) as f64
                     + router.reroute_energy() * steps as f64;
                 breakdown.logic.record_read(0, hop, Time::ZERO);
                 overhead_time = router.reroute_latency() * steps as f64;
@@ -609,10 +591,10 @@ impl Engine {
 
             // Three random vertex accesses per edge, partially hidden by
             // bank-level parallelism on the shared vertex channel.
-            let per_edge_latency = (vdev.read_latency() * 2.0 + vdev.write_latency())
-                / BANK_PARALLELISM;
-            let per_edge = per_edge_latency.max(self.pu.pipelined_period())
-                * traversal_factor as f64;
+            let per_edge_latency =
+                (vdev.read_latency() * 2.0 + vdev.write_latency()) / BANK_PARALLELISM;
+            let per_edge =
+                per_edge_latency.max(self.pu.pipelined_period()) * traversal_factor as f64;
             processing_time = per_edge * ne as f64;
         }
 
@@ -646,8 +628,8 @@ impl Engine {
             stats.writes = (stats.writes as f64 * iters) as u64;
             stats.bits_read = (stats.bits_read as f64 * iters) as u64;
             stats.bits_written = (stats.bits_written as f64 * iters) as u64;
-            stats.dynamic_energy = stats.dynamic_energy * iters;
-            stats.busy_time = stats.busy_time * iters;
+            stats.dynamic_energy *= iters;
+            stats.busy_time *= iters;
         }
 
         let total_time = iteration_time * iters;
@@ -669,21 +651,21 @@ impl Engine {
                     chip.capacity_bits() / u64::from(chip.banks()) / 8,
                 );
                 let transitions_per_iter = map.banks_spanned(edge_bits.div_ceil(8));
-                gating.gated_energy(total_time, transitions_per_iter * u64::from(iterations), 1.0)
+                gating.gated_energy(
+                    total_time,
+                    transitions_per_iter * u64::from(iterations),
+                    1.0,
+                )
             }
             (channel, _) => {
-                channel.device().background_power()
-                    * f64::from(EDGE_CHANNEL_CHIPS)
-                    * total_time
+                channel.device().background_power() * f64::from(EDGE_CHANNEL_CHIPS) * total_time
             }
         };
         breakdown.edge_memory.record_background(edge_bg);
 
         // Vertex channel always powered (random/bursty traffic, §4.1).
         breakdown.offchip_vertex.record_background(
-            vertex_mem.device().background_power()
-                * f64::from(VERTEX_CHANNEL_CHIPS)
-                * total_time,
+            vertex_mem.device().background_power() * f64::from(VERTEX_CHANNEL_CHIPS) * total_time,
         );
         if let Some(sram) = &sram {
             breakdown
@@ -715,9 +697,7 @@ fn _assert_energy_valid(e: Energy) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hyve_algorithms::{
-        reference, Bfs, ConnectedComponents, PageRank, SpMv, Sssp,
-    };
+    use hyve_algorithms::{reference, Bfs, ConnectedComponents, PageRank, SpMv, Sssp};
     use hyve_graph::{Csr, DatasetProfile, Edge};
 
     fn small_graph() -> EdgeList {
@@ -784,9 +764,7 @@ mod tests {
         let g = small_graph();
         let engine = Engine::new(SystemConfig::acc_sram_dram());
         let spmv = SpMv::new();
-        let (_, values) = engine
-            .run_on_edge_list_with_values(&spmv, &g)
-            .unwrap();
+        let (_, values) = engine.run_on_edge_list_with_values(&spmv, &g).unwrap();
         let x: Vec<f32> = (0..g.num_vertices())
             .map(|v| spmv.input(VertexId::new(v)))
             .collect();
@@ -843,8 +821,7 @@ mod tests {
             .run_on_edge_list(&PageRank::new(3), &g)
             .unwrap();
         assert!(
-            shared.breakdown.offchip_vertex.bits_read
-                < base.breakdown.offchip_vertex.bits_read
+            shared.breakdown.offchip_vertex.bits_read < base.breakdown.offchip_vertex.bits_read
         );
     }
 
@@ -872,7 +849,7 @@ mod tests {
         let pr = PageRank::new(1);
         assert_eq!(engine.plan_intervals(&pr, 8_000), 8);
         let p = engine.plan_intervals(&pr, 100_000);
-        assert!(p > 8 && p % 8 == 0, "got {p}");
+        assert!(p > 8 && p.is_multiple_of(8), "got {p}");
         // The dataset scale shrinks the effective SRAM, raising P.
         let scaled = Engine::new(SystemConfig::hyve_opt().with_dataset_scale(64));
         assert!(scaled.plan_intervals(&pr, 8_000) > 8);
@@ -919,7 +896,12 @@ mod tests {
         let dram_pre = Engine::new(SystemConfig::acc_dram())
             .preprocessing_report(&PageRank::new(10), &grid)
             .unwrap();
-        assert!(pre.time > dram_pre.time, "{} vs {}", pre.time, dram_pre.time);
+        assert!(
+            pre.time > dram_pre.time,
+            "{} vs {}",
+            pre.time,
+            dram_pre.time
+        );
     }
 
     #[test]

@@ -19,6 +19,8 @@ pub enum CoreError {
     },
     /// A graph-layer error surfaced during partitioning.
     Graph(hyve_graph::GraphError),
+    /// A memory-device model rejected its configuration.
+    Device(hyve_memsim::DeviceError),
 }
 
 impl fmt::Display for CoreError {
@@ -31,6 +33,7 @@ impl fmt::Display for CoreError {
                 write!(f, "graph not schedulable: {message}")
             }
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Device(e) => write!(f, "device error: {e}"),
         }
     }
 }
@@ -39,6 +42,7 @@ impl Error for CoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CoreError::Graph(e) => Some(e),
+            CoreError::Device(e) => Some(e),
             _ => None,
         }
     }
@@ -47,6 +51,12 @@ impl Error for CoreError {
 impl From<hyve_graph::GraphError> for CoreError {
     fn from(e: hyve_graph::GraphError) -> Self {
         CoreError::Graph(e)
+    }
+}
+
+impl From<hyve_memsim::DeviceError> for CoreError {
+    fn from(e: hyve_memsim::DeviceError) -> Self {
+        CoreError::Device(e)
     }
 }
 

@@ -1,0 +1,226 @@
+//! The parallel execution core: strategy selection, the per-PU thread
+//! fan-out, and the per-run block-cost memo.
+//!
+//! Algorithm 2 is parallel by construction — within a super-block step the
+//! `N` processing units touch pairwise-distinct source and destination
+//! intervals. The engine exploits that here: each PU's block work is a pure
+//! function of the iteration-start snapshot, so the PU outcomes can be
+//! computed on any number of OS threads and *reduced in fixed PU order*,
+//! making every [`RunReport`](crate::stats::RunReport) bit-identical to the
+//! sequential path regardless of thread count or interleaving.
+
+use crate::schedule::SuperBlockSchedule;
+use hyve_graph::GridGraph;
+
+/// How a [`SimulationSession`](crate::session::SimulationSession) executes
+/// the per-PU work of each iteration (and sweeps over configurations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionStrategy {
+    /// One OS thread; PUs run in index order.
+    #[default]
+    Sequential,
+    /// Fan the per-PU work out over up to `threads` OS threads via
+    /// `std::thread::scope`. Results are reduced in fixed PU order, so any
+    /// thread count — including 1 — produces output bit-identical to
+    /// [`Sequential`](ExecutionStrategy::Sequential).
+    Parallel {
+        /// Worker thread cap; must be ≥ 1.
+        threads: usize,
+    },
+}
+
+impl ExecutionStrategy {
+    /// Worker threads this strategy uses for `tasks` independent tasks.
+    pub(crate) fn worker_threads(self, tasks: usize) -> usize {
+        match self {
+            ExecutionStrategy::Sequential => 1,
+            ExecutionStrategy::Parallel { threads } => threads.max(1).min(tasks.max(1)),
+        }
+    }
+}
+
+/// Runs `f(0), f(1), …, f(tasks-1)` under `strategy` and returns the results
+/// indexed by task — the deterministic fan-out/reduce primitive everything
+/// else builds on. `f` must be pure with respect to task index: outputs land
+/// in a slot-per-task vector, so the caller's reduction order (fixed task
+/// order) never depends on scheduling.
+pub(crate) fn fan_out<O, F>(strategy: ExecutionStrategy, tasks: usize, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(usize) -> O + Sync,
+{
+    let workers = strategy.worker_threads(tasks);
+    if workers <= 1 || tasks <= 1 {
+        return (0..tasks).map(f).collect();
+    }
+    let mut slots: Vec<Option<O>> = (0..tasks).map(|_| None).collect();
+    let chunk = tasks.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (c, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                for (i, slot) in slot_chunk.iter_mut().enumerate() {
+                    *slot = Some(f(c * chunk + i));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task slot filled by its worker"))
+        .collect()
+}
+
+/// Per-run static-cost memo over the block grid.
+///
+/// Algorithm 2's schedule is a pure function of `(P, N)`, and every
+/// iteration walks exactly the same blocks — so the per-PU block lists and
+/// the per-step synchronisation cost (each step costs its *largest* block)
+/// are computed once per run and reused by both the functional pass (every
+/// iteration) and the cost pass, instead of re-deriving the schedule and
+/// re-scanning the grid per iteration.
+/// One PU's `(src_interval, dst_interval)` blocks in schedule order.
+type PuBlocks = Vec<(u32, u32)>;
+
+#[derive(Debug, Clone)]
+pub(crate) struct BlockPlan {
+    /// For each PU, its `(src_interval, dst_interval)` blocks in schedule
+    /// order (sy → sx → step).
+    pu_blocks: Vec<PuBlocks>,
+    /// Σ over steps of the step's maximum block edge count — the
+    /// synchronised processing cost of one iteration, in edges.
+    sync_edges: u64,
+}
+
+impl BlockPlan {
+    /// Builds the memo, fanning the per-PU scans out under `strategy`.
+    pub(crate) fn build(
+        grid: &GridGraph,
+        schedule: &SuperBlockSchedule,
+        strategy: ExecutionStrategy,
+    ) -> Self {
+        let n = schedule.pus();
+        let s = schedule.super_blocks_per_side();
+        let steps = (s as usize) * (s as usize) * (n as usize);
+        // Each PU's schedule is closed-form: at (sy, sx, step) it owns the
+        // block (sx·N + (pu+step) mod N, sy·N + pu).
+        let per_pu: Vec<(PuBlocks, Vec<u64>)> = fan_out(strategy, n as usize, |pu| {
+            let pu = pu as u32;
+            let mut blocks = Vec::with_capacity(steps);
+            let mut edges = Vec::with_capacity(steps);
+            for sy in 0..s {
+                for sx in 0..s {
+                    for step in 0..n {
+                        let src = sx * n + (pu + step) % n;
+                        let dst = sy * n + pu;
+                        blocks.push((src, dst));
+                        edges.push(grid.block_at(src, dst).len() as u64);
+                    }
+                }
+            }
+            (blocks, edges)
+        });
+        // Reduce per-step costs in fixed PU order (max is exact on u64, so
+        // this is deterministic for any fan-out).
+        let mut step_max = vec![0u64; steps];
+        for (_, edges) in &per_pu {
+            for (m, &e) in step_max.iter_mut().zip(edges) {
+                *m = (*m).max(e);
+            }
+        }
+        BlockPlan {
+            pu_blocks: per_pu.into_iter().map(|(blocks, _)| blocks).collect(),
+            sync_edges: step_max.iter().sum(),
+        }
+    }
+
+    /// Number of PUs the plan covers.
+    pub(crate) fn num_pus(&self) -> usize {
+        self.pu_blocks.len()
+    }
+
+    /// The blocks PU `pu` executes, in schedule order.
+    pub(crate) fn blocks(&self, pu: usize) -> &[(u32, u32)] {
+        &self.pu_blocks[pu]
+    }
+
+    /// Σ over steps of the step's maximum block edge count.
+    pub(crate) fn sync_edges(&self) -> u64 {
+        self.sync_edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyve_graph::{DatasetProfile, GridGraph};
+    use std::collections::HashSet;
+
+    #[test]
+    fn fan_out_preserves_task_order_for_any_thread_count() {
+        for strategy in [
+            ExecutionStrategy::Sequential,
+            ExecutionStrategy::Parallel { threads: 1 },
+            ExecutionStrategy::Parallel { threads: 3 },
+            ExecutionStrategy::Parallel { threads: 8 },
+            ExecutionStrategy::Parallel { threads: 64 },
+        ] {
+            let out = fan_out(strategy, 13, |i| i * i);
+            assert_eq!(out, (0..13).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn fan_out_handles_empty_and_single_task() {
+        let none: Vec<usize> = fan_out(ExecutionStrategy::Parallel { threads: 4 }, 0, |i| i);
+        assert!(none.is_empty());
+        let one = fan_out(ExecutionStrategy::Parallel { threads: 4 }, 1, |i| i + 7);
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn plan_matches_schedule_iteration() {
+        let graph = DatasetProfile::youtube_scaled().generate(3);
+        let grid = GridGraph::partition(&graph, 16).unwrap();
+        let schedule = SuperBlockSchedule::new(16, 4).unwrap();
+        let plan = BlockPlan::build(&grid, &schedule, ExecutionStrategy::Sequential);
+
+        // Every block appears exactly once across PUs.
+        let mut seen = HashSet::new();
+        for pu in 0..plan.num_pus() {
+            for &(src, dst) in plan.blocks(pu) {
+                assert!(seen.insert((src, dst)), "block ({src},{dst}) planned twice");
+                assert_eq!(dst % 4, pu as u32, "PU owns dst intervals ≡ pu (mod N)");
+            }
+        }
+        assert_eq!(seen.len(), 16 * 16);
+
+        // The sync cost matches a direct scan over the schedule.
+        let direct: u64 = schedule
+            .iter()
+            .map(|(_, assignments)| {
+                assignments
+                    .iter()
+                    .map(|a| grid.block_at(a.src_interval, a.dst_interval).len() as u64)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(plan.sync_edges(), direct);
+    }
+
+    #[test]
+    fn plan_is_identical_for_any_strategy() {
+        let graph = DatasetProfile::youtube_scaled().generate(9);
+        let grid = GridGraph::partition(&graph, 8).unwrap();
+        let schedule = SuperBlockSchedule::new(8, 8).unwrap();
+        let base = BlockPlan::build(&grid, &schedule, ExecutionStrategy::Sequential);
+        for threads in [1, 2, 5, 8] {
+            let par = BlockPlan::build(&grid, &schedule, ExecutionStrategy::Parallel { threads });
+            assert_eq!(par.sync_edges(), base.sync_edges());
+            for pu in 0..base.num_pus() {
+                assert_eq!(par.blocks(pu), base.blocks(pu));
+            }
+        }
+    }
+}

@@ -6,6 +6,9 @@
 //! * [`SystemConfig`] — the memory-hierarchy configuration space the
 //!   evaluation sweeps (acc+DRAM, acc+ReRAM, acc+SRAM+DRAM, HyVE,
 //!   HyVE-opt; Fig. 16),
+//! * [`SimulationSession`] — the validated entry point: a builder that
+//!   checks the configuration once and selects an [`ExecutionStrategy`]
+//!   (sequential, or a deterministic thread fan-out over PUs and sweeps),
 //! * [`Engine`] — a deterministic phase-level simulator of Algorithm 2's
 //!   super-block scheduling (loading / assigning / rerouting / processing /
 //!   synchronizing / updating), with per-edge pipelining per Eq. (1),
@@ -15,14 +18,14 @@
 //! * [`RunReport`] — energy/time accounting with the Fig. 17 breakdown.
 //!
 //! ```
-//! use hyve_core::{Engine, SystemConfig};
+//! use hyve_core::{SimulationSession, SystemConfig};
 //! use hyve_algorithms::PageRank;
 //! use hyve_graph::DatasetProfile;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let graph = DatasetProfile::youtube_scaled().generate(1);
-//! let engine = Engine::new(SystemConfig::hyve_opt());
-//! let report = engine.run_on_edge_list(&PageRank::new(5), &graph)?;
+//! let session = SimulationSession::builder(SystemConfig::hyve_opt()).build()?;
+//! let report = session.run_on_edge_list(&PageRank::new(5), &graph)?;
 //! assert!(report.mteps_per_watt() > 0.0);
 //! # Ok(())
 //! # }
@@ -35,9 +38,11 @@ pub mod config;
 pub mod controller;
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod pu;
 pub mod router;
 pub mod schedule;
+pub mod session;
 pub mod stats;
 pub mod workflow;
 
@@ -45,8 +50,10 @@ pub use config::{EdgeMemoryKind, SystemConfig, VertexMemoryKind};
 pub use controller::{AddressMap, EdgeAddress, EdgeBuffer, StreamAnalysis, StreamBound};
 pub use engine::{Engine, PreprocessingReport};
 pub use error::CoreError;
+pub use exec::ExecutionStrategy;
 pub use pu::ProcessingUnit;
 pub use router::Router;
 pub use schedule::{Assignment, SuperBlockSchedule};
+pub use session::{SessionBuilder, SimulationSession};
 pub use stats::{EnergyBreakdown, PhaseTimes, RunReport};
 pub use workflow::WorkingFlow;

@@ -53,7 +53,7 @@ impl SuperBlockSchedule {
                 message: "need at least one processing unit".into(),
             });
         }
-        if intervals == 0 || intervals % pus != 0 {
+        if intervals == 0 || !intervals.is_multiple_of(pus) {
             return Err(CoreError::Unschedulable {
                 message: format!("{intervals} intervals not a positive multiple of {pus} PUs"),
             });

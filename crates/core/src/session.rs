@@ -1,0 +1,310 @@
+//! The public entry point to the simulator: a validated, strategy-aware
+//! session.
+//!
+//! [`SimulationSession`] replaces direct [`Engine`] construction. The
+//! builder validates the [`SystemConfig`] **once, at build time** — every
+//! later call can assume a well-formed configuration and no construction
+//! path panics — and selects an [`ExecutionStrategy`]:
+//!
+//! ```
+//! use hyve_core::{ExecutionStrategy, SimulationSession, SystemConfig};
+//! use hyve_algorithms::PageRank;
+//! use hyve_graph::DatasetProfile;
+//!
+//! # fn main() -> Result<(), hyve_core::CoreError> {
+//! let graph = DatasetProfile::youtube_scaled().generate(1);
+//! let session = SimulationSession::builder(SystemConfig::hyve_opt())
+//!     .strategy(ExecutionStrategy::Parallel { threads: 4 })
+//!     .build()?;
+//! let report = session.run_on_edge_list(&PageRank::new(5), &graph)?;
+//! assert!(report.mteps_per_watt() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Determinism guarantee: for a fixed `(config, program, graph)`, every
+//! strategy — `Sequential` or `Parallel` with any thread count — produces a
+//! bit-identical [`RunReport`] and identical vertex values (see
+//! [`crate::exec`] for the reduction argument).
+
+use crate::config::SystemConfig;
+use crate::engine::{Engine, PreprocessingReport};
+use crate::error::CoreError;
+use crate::exec::{fan_out, ExecutionStrategy};
+use crate::stats::RunReport;
+use hyve_algorithms::EdgeProgram;
+use hyve_graph::{EdgeList, GridGraph};
+
+/// Builder for a [`SimulationSession`].
+///
+/// Created by [`SimulationSession::builder`]; finish with
+/// [`build`](SessionBuilder::build).
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    config: SystemConfig,
+    strategy: ExecutionStrategy,
+}
+
+impl SessionBuilder {
+    /// Sets the execution strategy (default: sequential).
+    pub fn strategy(mut self, strategy: ExecutionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Shorthand for `strategy(ExecutionStrategy::Parallel { threads })`.
+    pub fn parallel(self, threads: usize) -> Self {
+        self.strategy(ExecutionStrategy::Parallel { threads })
+    }
+
+    /// Shorthand for `strategy(ExecutionStrategy::Sequential)`.
+    pub fn sequential(self) -> Self {
+        self.strategy(ExecutionStrategy::Sequential)
+    }
+
+    /// Validates the configuration and strategy and builds the session.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] when the [`SystemConfig`] fails
+    /// [`SystemConfig::validate`] or a parallel strategy requests zero
+    /// threads. This is the single validation point: sessions never panic
+    /// on construction input.
+    pub fn build(self) -> Result<SimulationSession, CoreError> {
+        self.config.validate()?;
+        if let ExecutionStrategy::Parallel { threads: 0 } = self.strategy {
+            return Err(CoreError::InvalidConfig {
+                message: "parallel execution needs at least one thread".into(),
+            });
+        }
+        Ok(SimulationSession {
+            engine: Engine::new(self.config),
+            strategy: self.strategy,
+        })
+    }
+}
+
+/// A validated simulation session over one [`SystemConfig`].
+///
+/// See the [module docs](self) for the builder workflow and the determinism
+/// guarantee.
+#[derive(Debug, Clone)]
+pub struct SimulationSession {
+    engine: Engine,
+    strategy: ExecutionStrategy,
+}
+
+impl SimulationSession {
+    /// Starts building a session for `config`.
+    pub fn builder(config: SystemConfig) -> SessionBuilder {
+        SessionBuilder {
+            config,
+            strategy: ExecutionStrategy::Sequential,
+        }
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &SystemConfig {
+        self.engine.config()
+    }
+
+    /// The session's execution strategy.
+    pub fn strategy(&self) -> ExecutionStrategy {
+        self.strategy
+    }
+
+    /// Picks the interval count `P` for a graph (see
+    /// [`Engine::plan_intervals`]).
+    pub fn plan_intervals<P: EdgeProgram>(&self, program: &P, num_vertices: u32) -> u32 {
+        self.engine.plan_intervals(program, num_vertices)
+    }
+
+    /// Runs over an existing grid.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unschedulable`] when the grid's interval count is not a
+    /// positive multiple of the PU count.
+    pub fn run<P: EdgeProgram>(
+        &self,
+        program: &P,
+        grid: &GridGraph,
+    ) -> Result<RunReport, CoreError> {
+        self.run_with_values(program, grid).map(|(r, _)| r)
+    }
+
+    /// Like [`run`](Self::run), also returning final vertex values.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_with_values<P: EdgeProgram>(
+        &self,
+        program: &P,
+        grid: &GridGraph,
+    ) -> Result<(RunReport, Vec<P::Value>), CoreError> {
+        self.engine
+            .run_with_values_strategy(program, grid, self.strategy)
+    }
+
+    /// Partitions the edge list with the planned interval count and runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioning errors.
+    pub fn run_on_edge_list<P: EdgeProgram>(
+        &self,
+        program: &P,
+        graph: &EdgeList,
+    ) -> Result<RunReport, CoreError> {
+        self.run_on_edge_list_with_values(program, graph)
+            .map(|(r, _)| r)
+    }
+
+    /// Like [`run_on_edge_list`](Self::run_on_edge_list), also returning
+    /// the final vertex values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioning errors.
+    pub fn run_on_edge_list_with_values<P: EdgeProgram>(
+        &self,
+        program: &P,
+        graph: &EdgeList,
+    ) -> Result<(RunReport, Vec<P::Value>), CoreError> {
+        let p = self.engine.plan_intervals(program, graph.num_vertices());
+        let grid = GridGraph::partition(graph, p)?;
+        self.run_with_values(program, &grid)
+    }
+
+    /// Cost of the one-shot initialization write (§3.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-model errors.
+    pub fn preprocessing_report<P: EdgeProgram>(
+        &self,
+        program: &P,
+        grid: &GridGraph,
+    ) -> Result<PreprocessingReport, CoreError> {
+        self.engine.preprocessing_report(program, grid)
+    }
+
+    /// Runs `program` on `graph` under every configuration in `configs`,
+    /// returning reports in input order.
+    ///
+    /// Under a parallel strategy the *configurations* fan out across
+    /// threads (the figure-sweep workload) while each run executes its PUs
+    /// sequentially, avoiding thread oversubscription; results land in
+    /// input-indexed slots, so the output is identical to a sequential
+    /// sweep — including every report's energy and phase times.
+    ///
+    /// # Errors
+    ///
+    /// The first failing configuration's error, in input order.
+    pub fn sweep<P: EdgeProgram>(
+        &self,
+        program: &P,
+        graph: &EdgeList,
+        configs: &[SystemConfig],
+    ) -> Result<Vec<RunReport>, CoreError> {
+        let results: Vec<Result<RunReport, CoreError>> =
+            fan_out(self.strategy, configs.len(), |i| {
+                configs[i].validate()?;
+                let engine = Engine::new(configs[i].clone());
+                let p = engine.plan_intervals(program, graph.num_vertices());
+                let grid = GridGraph::partition(graph, p)?;
+                engine
+                    .run_with_values_strategy(program, &grid, ExecutionStrategy::Sequential)
+                    .map(|(report, _)| report)
+            });
+        results.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyve_algorithms::{Bfs, PageRank};
+    use hyve_graph::{DatasetProfile, VertexId};
+
+    fn graph() -> EdgeList {
+        DatasetProfile::youtube_scaled().generate(5)
+    }
+
+    #[test]
+    fn builder_validates_config_up_front() {
+        let bad = SystemConfig::hyve().with_num_pus(0);
+        assert!(matches!(
+            SimulationSession::builder(bad).build(),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_zero_threads() {
+        assert!(matches!(
+            SimulationSession::builder(SystemConfig::hyve())
+                .parallel(0)
+                .build(),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_report_is_bit_identical_to_sequential() {
+        let g = graph();
+        let sequential = SimulationSession::builder(SystemConfig::hyve_opt())
+            .build()
+            .unwrap();
+        let (seq_report, seq_values) = sequential
+            .run_on_edge_list_with_values(&Bfs::new(VertexId::new(0)), &g)
+            .unwrap();
+        for threads in [1, 2, 4, 8] {
+            let parallel = SimulationSession::builder(SystemConfig::hyve_opt())
+                .parallel(threads)
+                .build()
+                .unwrap();
+            let (par_report, par_values) = parallel
+                .run_on_edge_list_with_values(&Bfs::new(VertexId::new(0)), &g)
+                .unwrap();
+            assert_eq!(par_report, seq_report, "threads = {threads}");
+            assert_eq!(par_values, seq_values, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_matches_individual_runs_in_order() {
+        let g = graph();
+        let configs = [
+            SystemConfig::acc_dram(),
+            SystemConfig::acc_sram_dram(),
+            SystemConfig::hyve(),
+            SystemConfig::hyve_opt(),
+        ];
+        let session = SimulationSession::builder(SystemConfig::hyve())
+            .parallel(4)
+            .build()
+            .unwrap();
+        let swept = session.sweep(&PageRank::new(3), &g, &configs).unwrap();
+        assert_eq!(swept.len(), configs.len());
+        for (cfg, report) in configs.iter().zip(&swept) {
+            let lone = SimulationSession::builder(cfg.clone())
+                .build()
+                .unwrap()
+                .run_on_edge_list(&PageRank::new(3), &g)
+                .unwrap();
+            assert_eq!(*report, lone, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn sweep_surfaces_first_error_in_input_order() {
+        let g = graph();
+        let configs = [SystemConfig::hyve(), SystemConfig::hyve().with_num_pus(0)];
+        let session = SimulationSession::builder(SystemConfig::hyve())
+            .build()
+            .unwrap();
+        assert!(session.sweep(&PageRank::new(1), &g, &configs).is_err());
+    }
+}

@@ -137,11 +137,7 @@ mod tests {
     use hyve_graph::{Csr, Edge, VertexId};
 
     fn graph() -> EdgeList {
-        EdgeList::from_edges(
-            32,
-            (0..31).map(|i| Edge::new(i, i + 1)),
-        )
-        .unwrap()
+        EdgeList::from_edges(32, (0..31).map(|i| Edge::new(i, i + 1))).unwrap()
     }
 
     #[test]
@@ -149,7 +145,9 @@ mod tests {
         let mut flow = WorkingFlow::new(SystemConfig::hyve_opt(), &graph()).unwrap();
         flow.apply(Mutation::AddEdge(Edge::new(0, 31))).unwrap();
         assert_eq!(flow.mutations_since_analysis(), 1);
-        let (_, levels) = flow.analyze_with_values(&Bfs::new(VertexId::new(0))).unwrap();
+        let (_, levels) = flow
+            .analyze_with_values(&Bfs::new(VertexId::new(0)))
+            .unwrap();
         // The shortcut reaches vertex 31 in one hop now.
         assert_eq!(levels[31], 1);
         assert_eq!(flow.mutations_since_analysis(), 0);
@@ -158,8 +156,11 @@ mod tests {
     #[test]
     fn tombstoned_vertices_excluded_from_analysis() {
         let mut flow = WorkingFlow::new(SystemConfig::hyve(), &graph()).unwrap();
-        flow.apply(Mutation::RemoveVertex(VertexId::new(1))).unwrap();
-        let (_, levels) = flow.analyze_with_values(&Bfs::new(VertexId::new(0))).unwrap();
+        flow.apply(Mutation::RemoveVertex(VertexId::new(1)))
+            .unwrap();
+        let (_, levels) = flow
+            .analyze_with_values(&Bfs::new(VertexId::new(0)))
+            .unwrap();
         // The chain is severed at vertex 1: everything past it unreached.
         assert_eq!(levels[0], 0);
         assert!(levels[2..].iter().all(|&l| l == u32::MAX));
@@ -192,9 +193,12 @@ mod tests {
     fn analysis_matches_reference_on_evolved_graph() {
         let mut flow = WorkingFlow::new(SystemConfig::hyve_opt(), &graph()).unwrap();
         flow.apply(Mutation::AddEdge(Edge::new(5, 20))).unwrap();
-        flow.apply(Mutation::RemoveEdge { src: 10, dst: 11 }).unwrap();
+        flow.apply(Mutation::RemoveEdge { src: 10, dst: 11 })
+            .unwrap();
         let live = flow.dynamic().live_edge_list();
-        let (_, levels) = flow.analyze_with_values(&Bfs::new(VertexId::new(0))).unwrap();
+        let (_, levels) = flow
+            .analyze_with_values(&Bfs::new(VertexId::new(0)))
+            .unwrap();
         let csr = Csr::from_edge_list(&live);
         assert_eq!(levels, reference::bfs_levels(&csr, VertexId::new(0)));
     }
@@ -202,10 +206,9 @@ mod tests {
     #[test]
     fn degree_analysis_sees_live_edges_only() {
         let mut flow = WorkingFlow::new(SystemConfig::hyve(), &graph()).unwrap();
-        flow.apply(Mutation::RemoveVertex(VertexId::new(5))).unwrap();
-        let (_, deg) = flow
-            .analyze_with_values(&DegreeCentrality::new())
+        flow.apply(Mutation::RemoveVertex(VertexId::new(5)))
             .unwrap();
+        let (_, deg) = flow.analyze_with_values(&DegreeCentrality::new()).unwrap();
         assert_eq!(deg[5], 0.0, "tombstoned vertex receives nothing");
         assert_eq!(deg[6], 0.0, "edge 5->6 is inert");
         assert_eq!(deg[7], 1.0);

@@ -2,12 +2,17 @@
 //! the in-memory semantics on arbitrary graphs and configurations, and the
 //! cost accounting obeys basic conservation laws.
 
-use hyve_algorithms::{
-    reference, Bfs, ConnectedComponents, PageRank, SpMv,
-};
-use hyve_core::{Engine, SystemConfig};
+use hyve_algorithms::{reference, Bfs, ConnectedComponents, PageRank, SpMv};
+use hyve_core::{SimulationSession, SystemConfig};
 use hyve_graph::{Csr, Edge, EdgeList, VertexId};
 use proptest::prelude::*;
+
+/// Builds a sequential session; generated configurations are always valid.
+fn session(cfg: SystemConfig) -> SimulationSession {
+    SimulationSession::builder(cfg)
+        .build()
+        .expect("valid config")
+}
 
 fn arb_graph() -> impl Strategy<Value = EdgeList> {
     (8u32..80).prop_flat_map(|nv| {
@@ -47,7 +52,7 @@ proptest! {
     /// BFS through any engine configuration equals queue BFS.
     #[test]
     fn engine_bfs_invariant_under_config(g in arb_graph(), cfg in arb_config()) {
-        let engine = Engine::new(cfg);
+        let engine = session(cfg);
         let src = VertexId::new(0);
         let (report, values) = engine
             .run_on_edge_list_with_values(&Bfs::new(src), &g)
@@ -61,7 +66,7 @@ proptest! {
     /// CC results never depend on the hierarchy either.
     #[test]
     fn engine_cc_invariant_under_config(g in arb_graph(), cfg in arb_config()) {
-        let engine = Engine::new(cfg);
+        let engine = session(cfg);
         let (_, values) = engine
             .run_on_edge_list_with_values(&ConnectedComponents::new(), &g)
             .unwrap();
@@ -72,7 +77,7 @@ proptest! {
     /// count for PR: 2k iterations cost twice k's dynamic energy.
     #[test]
     fn pr_dynamic_energy_linear_in_iterations(g in arb_graph(), k in 1u32..5) {
-        let engine = Engine::new(SystemConfig::hyve_opt());
+        let engine = session(SystemConfig::hyve_opt());
         let r1 = engine.run_on_edge_list(&PageRank::new(k), &g).unwrap();
         let r2 = engine.run_on_edge_list(&PageRank::new(2 * k), &g).unwrap();
         let d1 = r1.breakdown.edge_memory.dynamic_energy
@@ -93,7 +98,7 @@ proptest! {
     #[test]
     fn planner_respects_capacity(nv in 8u32..1_000_000, scale_exp in 0u32..10) {
         let cfg = SystemConfig::hyve_opt().with_dataset_scale(1 << scale_exp);
-        let engine = Engine::new(cfg.clone());
+        let engine = session(cfg.clone());
         let pr = PageRank::new(1);
         let p = engine.plan_intervals(&pr, nv);
         prop_assert!(p >= 1);
@@ -118,7 +123,7 @@ proptest! {
     /// graphs.
     #[test]
     fn report_consistency(g in arb_graph(), cfg in arb_config()) {
-        let engine = Engine::new(cfg);
+        let engine = session(cfg);
         let report = engine.run_on_edge_list(&SpMv::new(), &g).unwrap();
         let b = &report.breakdown;
         let total = b.edge_memory.total_energy()

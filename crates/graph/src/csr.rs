@@ -119,7 +119,10 @@ mod tests {
         assert_eq!(c.out_degree(VertexId::new(0)), 2);
         assert_eq!(c.out_degree(VertexId::new(1)), 0);
         assert_eq!(c.out_degree(VertexId::new(2)), 2);
-        let n: Vec<u32> = c.neighbors(VertexId::new(2)).map(|(v, _)| v.raw()).collect();
+        let n: Vec<u32> = c
+            .neighbors(VertexId::new(2))
+            .map(|(v, _)| v.raw())
+            .collect();
         assert_eq!(n, vec![0, 3]);
         let w: Vec<f32> = c.neighbors(VertexId::new(3)).map(|(_, w)| w).collect();
         assert_eq!(w, vec![2.0]);

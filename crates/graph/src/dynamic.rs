@@ -95,8 +95,7 @@ impl DynamicGrid {
             vertex_reserve_fraction.is_finite() && vertex_reserve_fraction >= 0.0,
             "reserve fraction must be finite and non-negative"
         );
-        let slots =
-            (f64::from(grid.num_vertices()) * vertex_reserve_fraction).ceil() as u32;
+        let slots = (f64::from(grid.num_vertices()) * vertex_reserve_fraction).ceil() as u32;
         let tombstones = vec![false; grid.num_vertices() as usize];
         let mut degrees = vec![0u32; grid.num_vertices() as usize];
         for e in grid.iter_edges() {
@@ -255,9 +254,8 @@ impl DynamicGrid {
             let p = self.grid.num_intervals();
             let scheme = self.grid.partition_info().scheme();
             self.grid = GridGraph::partition_with_scheme(&list, p, scheme)?;
-            self.vertex_slots_remaining = (f64::from(self.grid.num_vertices())
-                * self.vertex_reserve_fraction)
-                .ceil() as u32;
+            self.vertex_slots_remaining =
+                (f64::from(self.grid.num_vertices()) * self.vertex_reserve_fraction).ceil() as u32;
             let mut tombstones = vec![false; self.grid.num_vertices() as usize];
             for (v, &dead) in self.tombstones.iter().enumerate() {
                 if dead && v < tombstones.len() {
@@ -342,7 +340,10 @@ mod tests {
         let initial_slots = d.vertex_slots_remaining();
         assert_eq!(initial_slots, 2); // ceil(8 * 0.25)
         for _ in 0..initial_slots {
-            assert_eq!(d.apply(Mutation::AddVertex).unwrap(), MutationOutcome::InPlace);
+            assert_eq!(
+                d.apply(Mutation::AddVertex).unwrap(),
+                MutationOutcome::InPlace
+            );
         }
         assert_eq!(d.vertex_slots_remaining(), 0);
         let out = d.apply(Mutation::AddVertex).unwrap();
@@ -376,9 +377,7 @@ mod tests {
     fn out_of_range_mutations_fail() {
         let mut d = make(4);
         assert!(d.apply(Mutation::AddEdge(Edge::new(0, 99))).is_err());
-        assert!(d
-            .apply(Mutation::RemoveVertex(VertexId::new(99)))
-            .is_err());
+        assert!(d.apply(Mutation::RemoveVertex(VertexId::new(99))).is_err());
     }
 
     #[test]

@@ -249,19 +249,15 @@ mod tests {
 
     #[test]
     fn dedup_removes_duplicates() {
-        let mut g = EdgeList::from_edges(
-            3,
-            [Edge::new(0, 1), Edge::new(0, 1), Edge::new(1, 2)],
-        )
-        .unwrap();
+        let mut g =
+            EdgeList::from_edges(3, [Edge::new(0, 1), Edge::new(0, 1), Edge::new(1, 2)]).unwrap();
         g.dedup();
         assert_eq!(g.len(), 2);
     }
 
     #[test]
     fn self_loop_removal() {
-        let mut g =
-            EdgeList::from_edges(3, [Edge::new(0, 0), Edge::new(0, 1)]).unwrap();
+        let mut g = EdgeList::from_edges(3, [Edge::new(0, 0), Edge::new(0, 1)]).unwrap();
         g.remove_self_loops();
         assert_eq!(g.len(), 1);
         assert_eq!(g.edges()[0], Edge::new(0, 1));

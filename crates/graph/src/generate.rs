@@ -57,7 +57,10 @@ impl Rmat {
     ///
     /// Panics unless `0 < a, b, c` and `a + b + c < 1`.
     pub fn with_probabilities(mut self, a: f64, b: f64, c: f64) -> Self {
-        assert!(a > 0.0 && b > 0.0 && c > 0.0, "probabilities must be positive");
+        assert!(
+            a > 0.0 && b > 0.0 && c > 0.0,
+            "probabilities must be positive"
+        );
         assert!(a + b + c < 1.0, "a + b + c must leave room for d");
         self.a = a;
         self.b = b;
@@ -228,7 +231,10 @@ mod tests {
         let deg = g.out_degrees();
         let max = *deg.iter().max().unwrap() as f64;
         let mean = 10_000.0 / 100.0;
-        assert!(max < 2.0 * mean, "uniform degrees should stay near the mean");
+        assert!(
+            max < 2.0 * mean,
+            "uniform degrees should stay near the mean"
+        );
     }
 
     #[test]

@@ -81,8 +81,7 @@ impl Block {
             // Chain a new segment sized like the slack region.
             self.overflow_segments += 1;
             self.reserved_capacity = self.edges.len()
-                + ((self.edges.len() as f64 * DEFAULT_RESERVE_FRACTION).ceil() as usize)
-                    .max(4);
+                + ((self.edges.len() as f64 * DEFAULT_RESERVE_FRACTION).ceil() as usize).max(4);
             false
         }
     }
@@ -151,8 +150,7 @@ impl GridGraph {
         for e in g.iter() {
             counts[partition.block_of(e).linear(p)] += 1;
         }
-        let mut buckets: Vec<Vec<Edge>> =
-            counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        let mut buckets: Vec<Vec<Edge>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
         for e in g.iter() {
             buckets[partition.block_of(e).linear(p)].push(*e);
         }
@@ -208,13 +206,19 @@ impl GridGraph {
     /// Panics if either coordinate is ≥ P.
     pub fn block_at(&self, src: u32, dst: u32) -> &Block {
         let p = self.num_intervals();
-        assert!(src < p && dst < p, "block ({src},{dst}) out of a {p}x{p} grid");
+        assert!(
+            src < p && dst < p,
+            "block ({src},{dst}) out of a {p}x{p} grid"
+        );
         &self.blocks[BlockId::new(src, dst).linear(p)]
     }
 
     pub(crate) fn block_at_mut(&mut self, src: u32, dst: u32) -> &mut Block {
         let p = self.num_intervals();
-        assert!(src < p && dst < p, "block ({src},{dst}) out of a {p}x{p} grid");
+        assert!(
+            src < p && dst < p,
+            "block ({src},{dst}) out of a {p}x{p} grid"
+        );
         &mut self.blocks[BlockId::new(src, dst).linear(p)]
     }
 
@@ -240,8 +244,7 @@ impl GridGraph {
     /// Vertex-memory footprint in bits for `value_bits`-wide vertex values:
     /// per interval, a 2 × 32-bit header plus one value per vertex (§3.4).
     pub fn vertex_storage_bits(&self, value_bits: u64) -> u64 {
-        u64::from(self.num_intervals()) * 64
-            + u64::from(self.num_vertices()) * value_bits
+        u64::from(self.num_intervals()) * 64 + u64::from(self.num_vertices()) * value_bits
     }
 
     /// Flattens the grid back into an edge list (inverse of partitioning,

@@ -144,9 +144,7 @@ impl IntervalPartition {
     pub fn global_index(&self, interval: u32, local: u32) -> VertexId {
         match self.scheme {
             PartitionScheme::Contiguous => VertexId::new(interval * self.stride + local),
-            PartitionScheme::RoundRobin => {
-                VertexId::new(local * self.num_intervals + interval)
-            }
+            PartitionScheme::RoundRobin => VertexId::new(local * self.num_intervals + interval),
         }
     }
 
@@ -311,7 +309,7 @@ mod tests {
     fn interval_vertices_cover_everything_once() {
         for scheme in [PartitionScheme::Contiguous, PartitionScheme::RoundRobin] {
             let p = IntervalPartition::new(23, 5, scheme).unwrap();
-            let mut seen = vec![false; 23];
+            let mut seen = [false; 23];
             for i in 0..5 {
                 for v in p.interval_vertices(i) {
                     assert!(!seen[v.index()], "vertex {v} seen twice");
@@ -362,8 +360,8 @@ mod tests {
             [
                 Edge::new(0, 0),
                 Edge::new(1, 2),
-                Edge::new(7, 7),  // all three in block (0,0)
-                Edge::new(8, 0),  // block (1,0)
+                Edge::new(7, 7),   // all three in block (0,0)
+                Edge::new(8, 0),   // block (1,0)
                 Edge::new(31, 31), // block (3,3)
             ],
         )

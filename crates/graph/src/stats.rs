@@ -122,8 +122,16 @@ mod tests {
         let er = ErdosRenyi::new(4096, 32_768).generate(3);
         let s_rmat = DegreeStats::out_degrees(&rmat);
         let s_er = DegreeStats::out_degrees(&er);
-        assert!(s_rmat.is_skewed(), "R-MAT CoV {}", s_rmat.coefficient_of_variation);
-        assert!(!s_er.is_skewed(), "ER CoV {}", s_er.coefficient_of_variation);
+        assert!(
+            s_rmat.is_skewed(),
+            "R-MAT CoV {}",
+            s_rmat.coefficient_of_variation
+        );
+        assert!(
+            !s_er.is_skewed(),
+            "ER CoV {}",
+            s_er.coefficient_of_variation
+        );
         assert!(s_rmat.top1pct_edge_share > 2.0 * s_er.top1pct_edge_share);
     }
 
@@ -132,7 +140,12 @@ mod tests {
         for p in DatasetProfile::all_small() {
             let g = p.generate(1);
             let s = DegreeStats::out_degrees(&g);
-            assert!(s.is_skewed(), "{} CoV {}", p.tag, s.coefficient_of_variation);
+            assert!(
+                s.is_skewed(),
+                "{} CoV {}",
+                p.tag,
+                s.coefficient_of_variation
+            );
             assert!(s.max > 50, "{} max degree {}", p.tag, s.max);
         }
     }

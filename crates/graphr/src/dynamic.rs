@@ -151,11 +151,8 @@ mod tests {
     use hyve_graph::Edge;
 
     fn make() -> GraphrDynamic {
-        let g = EdgeList::from_edges(
-            32,
-            [Edge::new(0, 9), Edge::new(1, 9), Edge::new(20, 30)],
-        )
-        .unwrap();
+        let g = EdgeList::from_edges(32, [Edge::new(0, 9), Edge::new(1, 9), Edge::new(20, 30)])
+            .unwrap();
         GraphrDynamic::new(&g)
     }
 

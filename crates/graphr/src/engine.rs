@@ -150,8 +150,7 @@ impl GraphrEngine {
         );
 
         // Processing time: writes serialise per engine; one read per block.
-        let proc_time = (c.write_latency * traversals as f64
-            + c.read_latency * neb as f64)
+        let proc_time = (c.write_latency * traversals as f64 + c.read_latency * neb as f64)
             / f64::from(self.graph_engines);
 
         // ---- vertex storage (Eq. 9) --------------------------------------
@@ -175,8 +174,7 @@ impl GraphrEngine {
 
         // Register files: fills per block plus 2 reads + 1 write per edge.
         let rf_fill = regfile.write_energy(value_bits) * (16 * neb) as f64;
-        let rf_edge = (regfile.read_energy(value_bits) * 2.0
-            + regfile.write_energy(value_bits))
+        let rf_edge = (regfile.read_energy(value_bits) * 2.0 + regfile.write_energy(value_bits))
             * traversals as f64;
         breakdown
             .onchip_vertex
@@ -205,16 +203,16 @@ impl GraphrEngine {
             stats.writes = (stats.writes as f64 * iters) as u64;
             stats.bits_read = (stats.bits_read as f64 * iters) as u64;
             stats.bits_written = (stats.bits_written as f64 * iters) as u64;
-            stats.dynamic_energy = stats.dynamic_energy * iters;
+            stats.dynamic_energy *= iters;
         }
         let total_time = iteration_time * iters;
 
         // ---- background ----------------------------------------------------
         // GraphR cannot power-gate: crossbars hold live computation state
         // and the access pattern hops across blocks.
-        breakdown.edge_memory.record_background(
-            reram.background_power() * f64::from(MEMORY_CHIPS) * total_time,
-        );
+        breakdown
+            .edge_memory
+            .record_background(reram.background_power() * f64::from(MEMORY_CHIPS) * total_time);
 
         RunReport {
             algorithm: program.name(),
@@ -243,7 +241,7 @@ impl Default for GraphrEngine {
 mod tests {
     use super::*;
     use hyve_algorithms::{reference, Bfs, ConnectedComponents, PageRank, SpMv, Sssp};
-    use hyve_core::{Engine, SystemConfig};
+    use hyve_core::{SimulationSession, SystemConfig};
     use hyve_graph::{Csr, DatasetProfile, VertexId};
 
     fn graph() -> EdgeList {
@@ -269,7 +267,9 @@ mod tests {
     fn hyve_beats_graphr_on_energy_and_delay() {
         // The Fig. 21 headline: HyVE ≈5× faster, ≈2.8× less energy.
         let g = graph();
-        let hyve = Engine::new(SystemConfig::hyve_opt())
+        let hyve = SimulationSession::builder(SystemConfig::hyve_opt())
+            .build()
+            .unwrap()
             .run_on_edge_list(&PageRank::new(5), &g)
             .unwrap();
         let graphr = GraphrEngine::new().run(&PageRank::new(5), &g).unwrap();
@@ -335,9 +335,8 @@ mod tests {
         let bfs = GraphrEngine::new()
             .run(&Bfs::new(VertexId::new(0)).with_max_iterations(1), &g)
             .unwrap();
-        let per_edge = |r: &RunReport| {
-            r.breakdown.logic.dynamic_energy.as_pj() / r.edges_processed as f64
-        };
+        let per_edge =
+            |r: &RunReport| r.breakdown.logic.dynamic_energy.as_pj() / r.edges_processed as f64;
         assert!(per_edge(&bfs) > per_edge(&spmv));
     }
 }

@@ -242,16 +242,22 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_cells() {
-        let mut c = ReramCellParams::default();
-        c.read_voltage_v = -0.4;
+        let c = ReramCellParams {
+            read_voltage_v: -0.4,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = ReramCellParams::default();
-        c.on_resistance_ohm = 20e6; // higher than off
+        let c = ReramCellParams {
+            on_resistance_ohm: 20e6,
+            ..Default::default()
+        }; // higher than off
         assert!(c.validate().is_err());
 
-        let mut c = ReramCellParams::default();
-        c.set_voltage_v = 0.1; // below read voltage
+        let c = ReramCellParams {
+            set_voltage_v: 0.1,
+            ..Default::default()
+        }; // below read voltage
         assert!(c.validate().is_err());
     }
 

@@ -189,10 +189,10 @@ mod tests {
         let r: &dyn MemoryDevice = &d;
         assert_eq!(r.kind(), DeviceKind::Sram);
         assert_eq!((&&d).capacity_bits(), 1024);
-        assert_eq!((&d).read_latency(), Time::from_ns(1.0));
-        assert_eq!((&d).random_access_penalty(), 3.0);
-        assert_eq!((&d).output_bits(), 512);
-        assert_eq!((&d).burst_period(), Time::from_ns(1.0));
+        assert_eq!(d.read_latency(), Time::from_ns(1.0));
+        assert_eq!(d.random_access_penalty(), 3.0);
+        assert_eq!(d.output_bits(), 512);
+        assert_eq!(d.burst_period(), Time::from_ns(1.0));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! physical reason the paper routes random vertex traffic to SRAM instead.
 
 use crate::device::{DeviceKind, MemoryDevice};
+use crate::error::DeviceError;
 use crate::units::{Energy, Power, Time};
 
 /// DDR4 timing parameters (defaults: DDR4-2133, -093 speed grade).
@@ -142,7 +143,7 @@ impl DramChip {
     ///
     /// Panics if the configuration is invalid; use [`DramChip::try_new`].
     pub fn new(config: DramChipConfig) -> Self {
-        Self::try_new(config).expect("invalid DRAM chip configuration")
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible constructor.
@@ -150,8 +151,10 @@ impl DramChip {
     /// # Errors
     ///
     /// Propagates [`DramChipConfig::validate`] failures.
-    pub fn try_new(config: DramChipConfig) -> Result<Self, String> {
-        config.validate()?;
+    pub fn try_new(config: DramChipConfig) -> Result<Self, DeviceError> {
+        config
+            .validate()
+            .map_err(|m| DeviceError::invalid("DRAM chip", m))?;
         Ok(DramChip {
             density_factor: f64::from(config.density_gbit) / 4.0,
             config,
@@ -184,8 +187,7 @@ impl DramChip {
     pub fn burst_read_energy(&self) -> Energy {
         let delta = self.config.idd4r_ma - self.config.idd3n_ma;
         let burst = Energy::from_pj(delta * self.config.vdd * self.burst_time().as_ns());
-        let bursts_per_row =
-            f64::from(self.config.row_bits) / f64::from(self.config.output_bits);
+        let bursts_per_row = f64::from(self.config.row_bits) / f64::from(self.config.output_bits);
         burst * self.density_factor.powf(0.15) + self.activate_energy() / bursts_per_row
     }
 
@@ -193,8 +195,7 @@ impl DramChip {
     pub fn burst_write_energy(&self) -> Energy {
         let delta = self.config.idd4w_ma - self.config.idd3n_ma;
         let burst = Energy::from_pj(delta * self.config.vdd * self.burst_time().as_ns());
-        let bursts_per_row =
-            f64::from(self.config.row_bits) / f64::from(self.config.output_bits);
+        let bursts_per_row = f64::from(self.config.row_bits) / f64::from(self.config.output_bits);
         burst * self.density_factor.powf(0.15) + self.activate_energy() / bursts_per_row
     }
 
@@ -207,8 +208,7 @@ impl DramChip {
 
     /// Standby (non-refresh) background power.
     pub fn standby_power(&self) -> Power {
-        Power::from_mw(self.config.idd3n_ma * self.config.vdd)
-            * self.density_factor.powf(0.5)
+        Power::from_mw(self.config.idd3n_ma * self.config.vdd) * self.density_factor.powf(0.5)
     }
 }
 
@@ -318,16 +318,22 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = DramChipConfig::default();
-        c.idd4r_ma = 10.0; // below standby
+        let c = DramChipConfig {
+            idd4r_ma: 10.0,
+            ..Default::default()
+        }; // below standby
         assert!(DramChip::try_new(c).is_err());
 
-        let mut c = DramChipConfig::default();
-        c.row_bits = 256; // smaller than access
+        let c = DramChipConfig {
+            row_bits: 256,
+            ..Default::default()
+        }; // smaller than access
         assert!(DramChip::try_new(c).is_err());
 
-        let mut c = DramChipConfig::default();
-        c.density_gbit = 0;
+        let c = DramChipConfig {
+            density_gbit: 0,
+            ..Default::default()
+        };
         assert!(DramChip::try_new(c).is_err());
     }
 

@@ -1,0 +1,51 @@
+//! Typed errors for device construction.
+//!
+//! Device configurations validate against physical plausibility rules
+//! (positive voltages, resistive windows > 1, …). `try_new` constructors
+//! surface violations as a [`DeviceError`] naming the device model, so
+//! higher layers (`hyve-core`, the `hyve` facade) can propagate one typed
+//! error chain instead of bare strings or panics.
+
+use std::error::Error;
+use std::fmt;
+
+/// A device configuration failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceError {
+    /// Which device model rejected the configuration ("DRAM chip", …).
+    pub device: &'static str,
+    /// The validation rule that failed.
+    pub message: String,
+}
+
+impl DeviceError {
+    /// Builds an error for `device` from a validation message.
+    pub fn invalid(device: &'static str, message: impl Into<String>) -> Self {
+        DeviceError {
+            device,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {} configuration: {}", self.device, self.message)
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_device() {
+        let e = DeviceError::invalid("DRAM chip", "vdd must be positive");
+        assert_eq!(
+            e.to_string(),
+            "invalid DRAM chip configuration: vdd must be positive"
+        );
+    }
+}

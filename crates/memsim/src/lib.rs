@@ -40,6 +40,7 @@ pub mod cell;
 pub mod counters;
 pub mod device;
 pub mod dram;
+pub mod error;
 pub mod power_gating;
 pub mod regfile;
 pub mod reram;
@@ -52,6 +53,7 @@ pub use cell::{CellBits, ReramCellParams, SramCellParams};
 pub use counters::AccessStats;
 pub use device::{DeviceKind, MemoryDevice};
 pub use dram::{DramChip, DramChipConfig, DramTimings};
+pub use error::DeviceError;
 pub use power_gating::{BankPowerGating, GatingTracker, PowerGatingConfig, PowerGatingReport};
 pub use regfile::RegisterFile;
 pub use reram::{OptimizationTarget, ReramBankProfile, ReramChip, ReramChipConfig};

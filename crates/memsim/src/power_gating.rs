@@ -187,8 +187,7 @@ impl GatingTracker {
                 if gate_at <= at {
                     // Powered from `now` until gate_at, then off.
                     let powered = (gate_at - self.now).max(Time::ZERO);
-                    self.powered_energy +=
-                        self.bank_leakage * powered + self.config.sleep_energy;
+                    self.powered_energy += self.bank_leakage * powered + self.config.sleep_energy;
                     *slot = None;
                 } else {
                     self.powered_energy += self.bank_leakage * (at - self.now);
@@ -279,7 +278,11 @@ mod tests {
         assert_eq!(transitions, 1);
         // Powered 0..150 ns (last access at 50 + timeout 100) = 150 pJ leak
         // + 10 pJ wake + 5 pJ sleep.
-        assert!((energy.as_pj() - 165.0).abs() < 1e-9, "got {}", energy.as_pj());
+        assert!(
+            (energy.as_pj() - 165.0).abs() < 1e-9,
+            "got {}",
+            energy.as_pj()
+        );
     }
 
     #[test]

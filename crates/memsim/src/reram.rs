@@ -13,6 +13,7 @@
 
 use crate::cell::{CellBits, ReramCellParams};
 use crate::device::{DeviceKind, MemoryDevice};
+use crate::error::DeviceError;
 use crate::units::{Energy, Power, Time};
 use std::fmt;
 
@@ -93,10 +94,7 @@ pub const TABLE3_PROFILES: [(OptimizationTarget, ReramBankProfile); 8] = {
 /// Looks up a Table 3 profile.
 ///
 /// Returns `None` for widths not in the table (valid: 64, 128, 256, 512).
-pub fn table3_profile(
-    target: OptimizationTarget,
-    output_bits: u32,
-) -> Option<ReramBankProfile> {
+pub fn table3_profile(target: OptimizationTarget, output_bits: u32) -> Option<ReramBankProfile> {
     TABLE3_PROFILES
         .iter()
         .find(|(t, p)| *t == target && p.output_bits == output_bits)
@@ -218,7 +216,7 @@ impl ReramChip {
     /// Panics if the configuration is invalid; use
     /// [`ReramChip::try_new`] for a fallible constructor.
     pub fn new(config: ReramChipConfig) -> Self {
-        Self::try_new(config).expect("invalid ReRAM chip configuration")
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible constructor.
@@ -226,8 +224,10 @@ impl ReramChip {
     /// # Errors
     ///
     /// Propagates [`ReramChipConfig::validate`] failures.
-    pub fn try_new(config: ReramChipConfig) -> Result<Self, String> {
-        config.validate()?;
+    pub fn try_new(config: ReramChipConfig) -> Result<Self, DeviceError> {
+        config
+            .validate()
+            .map_err(|m| DeviceError::invalid("ReRAM chip", m))?;
         let profile = table3_profile(config.target, config.output_bits)
             .expect("validated config always has a profile");
         Ok(ReramChip {
@@ -330,8 +330,7 @@ impl MemoryDevice for ReramChip {
         let cell = self.config.cell.write_energy_per_bit()
             * Self::PROGRAM_VERIFY_ROUNDS
             * bits.max(1) as f64;
-        let peripheral =
-            self.profile.read_energy * self.density_energy_factor * accesses as f64;
+        let peripheral = self.profile.read_energy * self.density_energy_factor * accesses as f64;
         cell + peripheral
     }
 
@@ -445,24 +444,32 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = ReramChipConfig::default();
-        c.output_bits = 100;
+        let c = ReramChipConfig {
+            output_bits: 100,
+            ..Default::default()
+        };
         assert!(ReramChip::try_new(c).is_err());
 
-        let mut c = ReramChipConfig::default();
-        c.banks = 0;
+        let c = ReramChipConfig {
+            banks: 0,
+            ..Default::default()
+        };
         assert!(ReramChip::try_new(c).is_err());
 
-        let mut c = ReramChipConfig::default();
-        c.density_gbit = 0;
+        let c = ReramChipConfig {
+            density_gbit: 0,
+            ..Default::default()
+        };
         assert!(ReramChip::try_new(c).is_err());
     }
 
     #[test]
     #[should_panic(expected = "invalid ReRAM chip configuration")]
     fn new_panics_on_invalid() {
-        let mut c = ReramChipConfig::default();
-        c.mats_per_bank = 0;
+        let c = ReramChipConfig {
+            mats_per_bank: 0,
+            ..Default::default()
+        };
         let _ = ReramChip::new(c);
     }
 
@@ -480,9 +487,7 @@ mod tests {
     fn background_power_counts_all_banks() {
         let chip = ReramChip::new(ReramChipConfig::default());
         let per_bank = chip.bank_leakage();
-        assert!(
-            (chip.background_power().as_mw() - 8.0 * per_bank.as_mw()).abs() < 1e-9
-        );
+        assert!((chip.background_power().as_mw() - 8.0 * per_bank.as_mw()).abs() < 1e-9);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::cell::SramCellParams;
 use crate::device::{DeviceKind, MemoryDevice};
+use crate::error::DeviceError;
 use crate::units::{Energy, Power, Time};
 
 /// Anchor capacity all scaling laws are normalised to (2 MB).
@@ -89,7 +90,7 @@ impl SramArray {
     ///
     /// Panics if the configuration is invalid; use [`SramArray::try_new`].
     pub fn new(config: SramConfig) -> Self {
-        Self::try_new(config).expect("invalid SRAM configuration")
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible constructor.
@@ -97,8 +98,10 @@ impl SramArray {
     /// # Errors
     ///
     /// Propagates [`SramConfig::validate`] failures.
-    pub fn try_new(config: SramConfig) -> Result<Self, String> {
-        config.validate()?;
+    pub fn try_new(config: SramConfig) -> Result<Self, DeviceError> {
+        config
+            .validate()
+            .map_err(|m| DeviceError::invalid("SRAM array", m))?;
         Ok(SramArray {
             cap_ratio: config.capacity_bytes as f64 / ANCHOR_BYTES as f64,
             config,
@@ -261,11 +264,15 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = SramConfig::default();
-        c.capacity_bytes = 0;
+        let c = SramConfig {
+            capacity_bytes: 0,
+            ..Default::default()
+        };
         assert!(SramArray::try_new(c).is_err());
-        let mut c = SramConfig::default();
-        c.word_bits = 0;
+        let c = SramConfig {
+            word_bits: 0,
+            ..Default::default()
+        };
         assert!(SramArray::try_new(c).is_err());
     }
 

@@ -324,8 +324,7 @@ mod tests {
         let r = t.replay(&chip);
         let analytic_dyn = chip.read_energy(bits);
         assert!(
-            (r.stats.dynamic_energy.as_pj() - analytic_dyn.as_pj()).abs()
-                / analytic_dyn.as_pj()
+            (r.stats.dynamic_energy.as_pj() - analytic_dyn.as_pj()).abs() / analytic_dyn.as_pj()
                 < 1e-9
         );
     }

@@ -2,8 +2,8 @@
 //! monotonicity of costs in transfer size, and power-gating bounds.
 
 use hyve_memsim::{
-    BankPowerGating, DramChip, DramChipConfig, Energy, MemoryDevice, Power,
-    PowerGatingConfig, ReramChip, ReramChipConfig, SramArray, SramConfig, Time,
+    BankPowerGating, DramChip, DramChipConfig, Energy, MemoryDevice, Power, PowerGatingConfig,
+    ReramChip, ReramChipConfig, SramArray, SramConfig, Time,
 };
 use proptest::prelude::*;
 

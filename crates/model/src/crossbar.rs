@@ -170,8 +170,10 @@ mod tests {
 
     #[test]
     fn hypothetical_cheap_crossbar_breaks_even() {
-        let mut c = CrossbarCosts::default();
-        c.write_energy = Energy::from_pj(0.5); // 4·0.5 = 2 < 3.7
+        let c = CrossbarCosts {
+            write_energy: Energy::from_pj(0.5),
+            ..Default::default()
+        }; // 4·0.5 = 2 < 3.7
         let n = c.break_even_navg();
         assert!(n.is_finite() && n > 0.0);
         assert!(!c.cmos_wins(n * 2.0) || c.per_edge_latency_mv(n * 2.0) > c.cmos_op_latency);

@@ -54,7 +54,11 @@ pub struct NormalizedComparison {
 
 /// Streams `total_bits` with the given mix through one device and returns
 /// (time, energy incl. background).
-fn stream_cost<D: MemoryDevice>(dev: &D, total_bits: u64, pattern: AccessPattern) -> (Time, Energy) {
+fn stream_cost<D: MemoryDevice>(
+    dev: &D,
+    total_bits: u64,
+    pattern: AccessPattern,
+) -> (Time, Energy) {
     let rf = pattern.read_fraction();
     let read_bits = (total_bits as f64 * rf) as u64;
     let write_bits = total_bits - read_bits;
@@ -63,7 +67,11 @@ fn stream_cost<D: MemoryDevice>(dev: &D, total_bits: u64, pattern: AccessPattern
     let write_accesses = write_bits.div_ceil(out);
     let time = dev.burst_period() * read_accesses as f64
         + dev.sequential_write_period() * write_accesses as f64
-        + if read_accesses > 0 { dev.read_latency() } else { Time::ZERO };
+        + if read_accesses > 0 {
+            dev.read_latency()
+        } else {
+            Time::ZERO
+        };
     let dynamic = dev.read_energy(read_bits.max(u64::from(read_bits > 0)))
         * f64::from(u8::from(read_bits > 0))
         + dev.write_energy(write_bits.max(u64::from(write_bits > 0)))
@@ -105,7 +113,10 @@ mod tests {
         for density in [4, 8, 16] {
             let c = compare_edge_storage(density, AccessPattern::SequentialRead);
             assert!(c.delay_ratio < 1.0, "DRAM must be faster at {density} Gb");
-            assert!(c.energy_ratio > 1.0, "ReRAM must be cheaper at {density} Gb");
+            assert!(
+                c.energy_ratio > 1.0,
+                "ReRAM must be cheaper at {density} Gb"
+            );
             assert!(c.edp_ratio > 1.0, "ReRAM must win EDP at {density} Gb");
         }
     }

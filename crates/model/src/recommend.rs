@@ -120,8 +120,7 @@ pub fn recommend(shape: &WorkloadShape, objective: Objective) -> Recommendation 
         intervals: shape.partitions,
         pus: shape.pus,
     };
-    let edp_ratio =
-        global_vertex_edp_ratio(policy, shape.num_vertices, shape.density_gbit);
+    let edp_ratio = global_vertex_edp_ratio(policy, shape.num_vertices, shape.density_gbit);
     let global_vertex = if edp_ratio < 1.0 {
         Technology::Dram
     } else {

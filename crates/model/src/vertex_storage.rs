@@ -15,8 +15,8 @@
 
 use crate::general::CostTerm;
 use hyve_memsim::{
-    DramChip, DramChipConfig, MemoryDevice, RegisterFile, ReramChip, ReramChipConfig,
-    SramArray, SramConfig,
+    DramChip, DramChipConfig, MemoryDevice, RegisterFile, ReramChip, ReramChipConfig, SramArray,
+    SramConfig,
 };
 
 /// Which system's partitioning generates the traffic.
@@ -135,8 +135,7 @@ pub fn vertex_storage_comparison(w: VertexWorkload) -> (VertexStorageSide, Verte
     let h_reads = hyve_policy.seq_reads(w.num_vertices);
     let h_writes = hyve_policy.seq_writes(w.num_vertices);
     let h_global_t = dram.burst_period()
-        * ((h_reads + h_writes) * VERTEX_BITS).div_ceil(u64::from(dram.output_bits()))
-            as f64;
+        * ((h_reads + h_writes) * VERTEX_BITS).div_ceil(u64::from(dram.output_bits())) as f64;
     let h_global_e =
         dram.read_energy(h_reads * VERTEX_BITS) + dram.write_energy(h_writes * VERTEX_BITS);
     // Local: 2 reads + 1 write per edge, plus interval fills; the N
@@ -144,8 +143,7 @@ pub fn vertex_storage_comparison(w: VertexWorkload) -> (VertexStorageSide, Verte
     let h_local_ops = 3 * w.num_edges;
     let h_local_t = (sram.word_read_latency() * 2.0 + sram.word_write_latency())
         * (w.num_edges as f64 / f64::from(w.pus.max(1)));
-    let h_local_e = (sram.word_read_energy() * 2.0 + sram.word_write_energy())
-        * w.num_edges as f64
+    let h_local_e = (sram.word_read_energy() * 2.0 + sram.word_write_energy()) * w.num_edges as f64
         + sram.bulk_write_energy(h_reads * VERTEX_BITS);
     let _ = h_local_ops;
     let hyve = VertexStorageSide {
@@ -270,7 +268,10 @@ mod tests {
         assert!(graphr.total.energy > hyve.total.energy);
         let edp_ratio = (graphr.total.time.as_ns() * graphr.total.energy.as_pj())
             / (hyve.total.time.as_ns() * hyve.total.energy.as_pj());
-        assert!(edp_ratio > 1.0, "GraphR/HyVE EDP ratio {edp_ratio} must exceed 1");
+        assert!(
+            edp_ratio > 1.0,
+            "GraphR/HyVE EDP ratio {edp_ratio} must exceed 1"
+        );
     }
 
     #[test]

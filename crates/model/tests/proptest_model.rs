@@ -5,8 +5,8 @@
 use hyve_memsim::{Energy, Time};
 use hyve_model::general::{CostTerm, GraphWorkload, ModelCosts};
 use hyve_model::{
-    compare_edge_storage, global_vertex_edp_ratio, recommend, AccessPattern,
-    CrossbarCosts, Objective, PartitionPolicy, Technology, WorkloadShape,
+    compare_edge_storage, global_vertex_edp_ratio, recommend, AccessPattern, CrossbarCosts,
+    Objective, PartitionPolicy, Technology, WorkloadShape,
 };
 use proptest::prelude::*;
 

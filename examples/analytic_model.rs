@@ -60,7 +60,10 @@ fn main() {
     for (name, model) in [
         ("ReRAM crossbar", AreaModel::reram(22.0)),
         ("DRAM", AreaModel::dram(22.0)),
-        ("SRAM (146 F^2)", AreaModel::sram(&SramCellParams::default())),
+        (
+            "SRAM (146 F^2)",
+            AreaModel::sram(&SramCellParams::default()),
+        ),
     ] {
         println!(
             "{name:<16}: 4 Gb in {}, {:.1} Mbit/mm^2",

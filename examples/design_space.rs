@@ -7,9 +7,16 @@
 //! ```
 
 use hyve::algorithms::PageRank;
-use hyve::core::{Engine, SystemConfig};
+use hyve::core::{SimulationSession, SystemConfig};
 use hyve::graph::DatasetProfile;
 use hyve::memsim::CellBits;
+
+/// Builds a sequential session; all configurations here are statically valid.
+fn session(cfg: SystemConfig) -> SimulationSession {
+    SimulationSession::builder(cfg)
+        .build()
+        .expect("valid config")
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = DatasetProfile::as_skitter_scaled();
@@ -20,14 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("-- ReRAM cell bits (Fig. 13) --");
     for bits in CellBits::all() {
         let cfg = SystemConfig::hyve_opt().with_cell_bits(bits);
-        let report = Engine::new(cfg).run_on_edge_list(&pr, &graph)?;
+        let report = session(cfg).run_on_edge_list(&pr, &graph)?;
         println!("{bits}: {:>8.1} MTEPS/W", report.mteps_per_watt());
     }
 
     println!("\n-- SRAM capacity (Table 4) --");
     for mb in [2u64, 4, 8, 16] {
         let cfg = SystemConfig::hyve_opt().with_sram_mb(mb);
-        let report = Engine::new(cfg).run_on_edge_list(&pr, &graph)?;
+        let report = session(cfg).run_on_edge_list(&pr, &graph)?;
         println!(
             "{mb:>2} MB: {:>8.1} MTEPS/W (P = {})",
             report.mteps_per_watt(),
@@ -38,17 +45,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n-- chip density --");
     for gbit in [4u32, 8, 16] {
         let cfg = SystemConfig::hyve_opt().with_density(gbit);
-        let report = Engine::new(cfg).run_on_edge_list(&pr, &graph)?;
+        let report = session(cfg).run_on_edge_list(&pr, &graph)?;
         println!("{gbit:>2} Gb: {:>8.1} MTEPS/W", report.mteps_per_watt());
     }
 
     println!("\n-- optimizations --");
     for (label, cfg) in [
-        ("baseline       ", SystemConfig::hyve().with_data_sharing(false)),
+        (
+            "baseline       ",
+            SystemConfig::hyve().with_data_sharing(false),
+        ),
         ("+ data sharing ", SystemConfig::hyve()),
         ("+ power gating ", SystemConfig::hyve_opt()),
     ] {
-        let report = Engine::new(cfg).run_on_edge_list(&pr, &graph)?;
+        let report = session(cfg).run_on_edge_list(&pr, &graph)?;
         println!("{label}: {:>8.1} MTEPS/W", report.mteps_per_watt());
     }
     Ok(())

@@ -11,10 +11,17 @@
 //! ```
 
 use hyve::algorithms::PageRank;
-use hyve::core::{Engine, SystemConfig};
+use hyve::core::{SimulationSession, SystemConfig};
 use hyve::graph::{DatasetProfile, DynamicGrid, Edge, GridGraph, Mutation, VertexId};
 use hyve::graphr::GraphrDynamic;
 use std::time::Instant;
+
+/// Builds a sequential session; all configurations here are statically valid.
+fn session(cfg: SystemConfig) -> SimulationSession {
+    SimulationSession::builder(cfg)
+        .build()
+        .expect("valid config")
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = DatasetProfile::wiki_talk_scaled();
@@ -58,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Re-analyse the evolved graph without a full preprocessing pass:
     // flatten the mutated grid straight back into the engine.
     let evolved = hyve.grid().to_edge_list();
-    let engine = Engine::new(SystemConfig::hyve_opt());
+    let engine = session(SystemConfig::hyve_opt());
     let report = engine.run_on_edge_list(&PageRank::new(10), &evolved)?;
     println!(
         "\nre-ranked evolved graph ({} edges): {:.1} MTEPS/W, {}",

@@ -6,8 +6,15 @@
 //! ```
 
 use hyve::algorithms::PageRank;
-use hyve::core::{Engine, SystemConfig};
+use hyve::core::{SimulationSession, SystemConfig};
 use hyve::graph::DatasetProfile;
+
+/// Builds a sequential session; all configurations here are statically valid.
+fn session(cfg: SystemConfig) -> SimulationSession {
+    SimulationSession::builder(cfg)
+        .build()
+        .expect("valid config")
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The com-youtube stand-in: same |E|/|V| ratio and skew as the paper's
@@ -18,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // HyVE with data sharing and bank-level power gating (the paper's best
     // configuration), 8 processing units, 2 MB on-chip vertex memory.
-    let engine = Engine::new(SystemConfig::hyve_opt());
+    let engine = session(SystemConfig::hyve_opt());
     let report = engine.run_on_edge_list(&PageRank::new(10), &graph)?;
 
     println!("{report}");

@@ -7,11 +7,18 @@
 //! ```
 
 use hyve::algorithms::{reference, Sssp};
-use hyve::core::{Engine, SystemConfig};
+use hyve::core::{SimulationSession, SystemConfig};
 use hyve::graph::{Csr, Edge, EdgeList, VertexId};
 use hyve::graphr::GraphrEngine;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Builds a sequential session; all configurations here are statically valid.
+fn session(cfg: SystemConfig) -> SimulationSession {
+    SimulationSession::builder(cfg)
+        .build()
+        .expect("valid config")
+}
 
 /// Builds a grid-with-shortcuts road network: `side × side` intersections,
 /// 4-neighbour streets with jittered lengths, plus a few highways.
@@ -60,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sssp = Sssp::new(depot);
 
     // HyVE computes the distances...
-    let engine = Engine::new(SystemConfig::hyve_opt());
+    let engine = session(SystemConfig::hyve_opt());
     let (report, distances) = engine.run_on_edge_list_with_values(&sssp, &graph)?;
 
     // ...and Dijkstra agrees.

@@ -11,8 +11,15 @@
 //! ```
 
 use hyve::algorithms::PageRank;
-use hyve::core::{Engine, SystemConfig};
+use hyve::core::{SimulationSession, SystemConfig};
 use hyve::graph::DatasetProfile;
+
+/// Builds a sequential session; all configurations here are statically valid.
+fn session(cfg: SystemConfig) -> SimulationSession {
+    SimulationSession::builder(cfg)
+        .build()
+        .expect("valid config")
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = DatasetProfile::live_journal_scaled();
@@ -28,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SystemConfig::hyve(),
         SystemConfig::hyve_opt(),
     ] {
-        let engine = Engine::new(cfg);
+        let engine = session(cfg);
         let (report, ranks) = engine.run_on_edge_list_with_values(&pr, &graph)?;
 
         // Top-10 vertices by rank.

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The repo's full gate: formatting, lints, release build, and the test
+# suite — exactly what CI runs. Everything works offline (vendored deps).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "All checks passed."

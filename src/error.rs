@@ -1,0 +1,89 @@
+//! The workspace-wide error type.
+//!
+//! Each layer keeps its own error ([`GraphError`](hyve_graph::GraphError),
+//! [`CoreError`](hyve_core::CoreError),
+//! [`DeviceError`](hyve_memsim::DeviceError)); [`HyveError`] unifies them so
+//! applications can `?` across layers without `Box<dyn Error>`.
+
+use std::error::Error;
+use std::fmt;
+
+/// Any error the HyVE workspace can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HyveError {
+    /// Graph construction or partitioning failed.
+    Graph(hyve_graph::GraphError),
+    /// Engine configuration or scheduling failed.
+    Core(hyve_core::CoreError),
+    /// A memory-device model rejected its configuration.
+    Device(hyve_memsim::DeviceError),
+}
+
+impl fmt::Display for HyveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HyveError::Graph(e) => write!(f, "graph error: {e}"),
+            HyveError::Core(e) => write!(f, "core error: {e}"),
+            HyveError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl Error for HyveError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HyveError::Graph(e) => Some(e),
+            HyveError::Core(e) => Some(e),
+            HyveError::Device(e) => Some(e),
+        }
+    }
+}
+
+impl From<hyve_graph::GraphError> for HyveError {
+    fn from(e: hyve_graph::GraphError) -> Self {
+        HyveError::Graph(e)
+    }
+}
+
+impl From<hyve_core::CoreError> for HyveError {
+    fn from(e: hyve_core::CoreError) -> Self {
+        HyveError::Core(e)
+    }
+}
+
+impl From<hyve_memsim::DeviceError> for HyveError {
+    fn from(e: hyve_memsim::DeviceError) -> Self {
+        HyveError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_every_layer_with_source() {
+        let g = HyveError::from(hyve_graph::GraphError::EmptyGraph);
+        let c = HyveError::from(hyve_core::CoreError::InvalidConfig {
+            message: "zero PUs".into(),
+        });
+        let d = HyveError::from(hyve_memsim::DeviceError::invalid(
+            "SRAM array",
+            "capacity must be positive",
+        ));
+        for e in [&g, &c, &d] {
+            assert!(Error::source(e).is_some());
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(c.to_string().contains("zero PUs"));
+    }
+
+    #[test]
+    fn question_mark_across_layers() {
+        fn run() -> Result<(), HyveError> {
+            hyve_core::SystemConfig::hyve().validate()?;
+            Err(hyve_graph::GraphError::EmptyGraph)?
+        }
+        assert!(matches!(run(), Err(HyveError::Graph(_))));
+    }
+}

@@ -17,18 +17,21 @@
 //! ## Quickstart
 //!
 //! ```
-//! use hyve::graph::{DatasetProfile, GridGraph};
-//! use hyve::core::{Engine, SystemConfig};
-//! use hyve::algorithms::PageRank;
+//! use hyve::prelude::*;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> Result<(), HyveError> {
 //! let edges = DatasetProfile::youtube_scaled().generate(42);
-//! let grid = GridGraph::partition(&edges, 8)?;
-//! let report = Engine::new(SystemConfig::hyve_opt()).run(&PageRank::new(5), &grid)?;
+//! let session = SimulationSession::builder(SystemConfig::hyve_opt()).build()?;
+//! let report = session.run_on_edge_list(&PageRank::new(5), &edges)?;
 //! println!("PR on scaled YT: {:.1} MTEPS/W", report.mteps_per_watt());
 //! # Ok(())
 //! # }
 //! ```
+
+pub mod error;
+pub mod prelude;
+
+pub use error::HyveError;
 
 pub use hyve_algorithms as algorithms;
 pub use hyve_baselines as baselines;

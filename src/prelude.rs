@@ -1,0 +1,26 @@
+//! One-stop imports for HyVE applications.
+//!
+//! ```
+//! use hyve::prelude::*;
+//!
+//! # fn main() -> Result<(), HyveError> {
+//! let graph = DatasetProfile::youtube_scaled().generate(42);
+//! let session = SimulationSession::builder(SystemConfig::hyve_opt())
+//!     .parallel(4)
+//!     .build()?;
+//! let report = session.run_on_edge_list(&PageRank::new(5), &graph)?;
+//! assert!(report.mteps_per_watt() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use crate::error::HyveError;
+pub use hyve_algorithms::{
+    Bfs, ConnectedComponents, EdgeProgram, ExecutionMode, IterationBound, PageRank, SpMv, Sssp,
+};
+pub use hyve_core::{
+    CoreError, EdgeMemoryKind, EnergyBreakdown, ExecutionStrategy, PhaseTimes, RunReport,
+    SessionBuilder, SimulationSession, SystemConfig, VertexMemoryKind,
+};
+pub use hyve_graph::{DatasetProfile, Edge, EdgeList, GraphError, GridGraph, Rmat, VertexId};
+pub use hyve_memsim::DeviceError;

@@ -1,0 +1,129 @@
+//! The parallel engine's core guarantee, asserted exhaustively: for any
+//! graph, program and configuration, `Parallel { threads }` produces a
+//! `RunReport` and final vertex values **bit-identical** to `Sequential`,
+//! for every thread count from 1 to 8. No tolerances anywhere — equality is
+//! exact, including every float in the energy breakdown and phase times.
+
+use hyve::algorithms::{Bfs, ConnectedComponents, EdgeProgram, PageRank, SpMv, Sssp};
+use hyve::core::{SimulationSession, SystemConfig};
+use hyve::graph::{Edge, EdgeList, VertexId};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = EdgeList> {
+    (8u32..64).prop_flat_map(|nv| {
+        proptest::collection::vec((0..nv, 0..nv), 1..250).prop_map(move |pairs| {
+            let mut g = EdgeList::new(nv);
+            g.extend(pairs.into_iter().map(|(s, d)| Edge::new(s, d)));
+            g
+        })
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = SystemConfig> {
+    (0usize..5, 1u32..4, proptest::bool::ANY).prop_map(|(preset, scale_exp, sharing)| {
+        let base = match preset {
+            0 => SystemConfig::acc_dram(),
+            1 => SystemConfig::acc_reram(),
+            2 => SystemConfig::acc_sram_dram(),
+            3 => SystemConfig::hyve(),
+            _ => SystemConfig::hyve_opt(),
+        };
+        base.with_dataset_scale(1 << scale_exp)
+            .with_data_sharing(sharing)
+    })
+}
+
+/// Runs `program` sequentially, then under every thread count 1..=8, and
+/// demands exact equality of both the report and the vertex values.
+fn assert_bit_identical<P: EdgeProgram>(program: &P, g: &EdgeList, cfg: &SystemConfig) {
+    let sequential = SimulationSession::builder(cfg.clone())
+        .build()
+        .expect("generated configuration is valid");
+    let (seq_report, seq_values) = sequential
+        .run_on_edge_list_with_values(program, g)
+        .expect("sequential run");
+    for threads in 1..=8 {
+        let parallel = SimulationSession::builder(cfg.clone())
+            .parallel(threads)
+            .build()
+            .expect("generated configuration is valid");
+        let (par_report, par_values) = parallel
+            .run_on_edge_list_with_values(program, g)
+            .expect("parallel run");
+        assert_eq!(
+            par_report,
+            seq_report,
+            "{}: report diverged at {threads} threads on {}",
+            program.name(),
+            cfg.name
+        );
+        assert_eq!(
+            par_values,
+            seq_values,
+            "{}: values diverged at {threads} threads on {}",
+            program.name(),
+            cfg.name
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// PageRank (floating-point accumulation) is bit-stable across threads.
+    #[test]
+    fn pagerank_is_bit_identical_across_thread_counts(
+        g in arb_graph(),
+        cfg in arb_config(),
+    ) {
+        assert_bit_identical(&PageRank::new(5), &g, &cfg);
+    }
+
+    /// BFS (monotone integer levels) is bit-stable across threads.
+    #[test]
+    fn bfs_is_bit_identical_across_thread_counts(
+        g in arb_graph(),
+        cfg in arb_config(),
+    ) {
+        assert_bit_identical(&Bfs::new(VertexId::new(0)), &g, &cfg);
+    }
+
+    /// Connected components (undirected label propagation) is bit-stable.
+    #[test]
+    fn cc_is_bit_identical_across_thread_counts(
+        g in arb_graph(),
+        cfg in arb_config(),
+    ) {
+        assert_bit_identical(&ConnectedComponents::new(), &g, &cfg);
+    }
+
+    /// SSSP (monotone distance relaxation) is bit-stable across threads.
+    #[test]
+    fn sssp_is_bit_identical_across_thread_counts(
+        g in arb_graph(),
+        cfg in arb_config(),
+    ) {
+        assert_bit_identical(&Sssp::new(VertexId::new(0)), &g, &cfg);
+    }
+
+    /// SpMV (one floating-point accumulation pass) is bit-stable.
+    #[test]
+    fn spmv_is_bit_identical_across_thread_counts(
+        g in arb_graph(),
+        cfg in arb_config(),
+    ) {
+        assert_bit_identical(&SpMv::new(), &g, &cfg);
+    }
+}
+
+/// The convergence path (`IterationBound::Converge`) must also stop after
+/// the same number of iterations regardless of strategy — the report's
+/// iteration count is part of the bit-identical contract.
+#[test]
+fn convergent_runs_stop_identically() {
+    let g = hyve::graph::DatasetProfile::youtube_scaled().generate(7);
+    for cfg in [SystemConfig::hyve(), SystemConfig::hyve_opt()] {
+        assert_bit_identical(&ConnectedComponents::new(), &g, &cfg);
+        assert_bit_identical(&Bfs::new(VertexId::new(0)), &g, &cfg);
+    }
+}

@@ -4,9 +4,16 @@
 
 use hyve::algorithms::{reference, Bfs, ConnectedComponents, PageRank, SpMv, Sssp};
 use hyve::baselines::CpuSystem;
-use hyve::core::{Engine, SystemConfig};
+use hyve::core::{SimulationSession, SystemConfig};
 use hyve::graph::{Csr, DatasetProfile, GridGraph, VertexId};
 use hyve::graphr::GraphrEngine;
+
+/// Builds a sequential session; all configurations here are statically valid.
+fn session(cfg: SystemConfig) -> SimulationSession {
+    SimulationSession::builder(cfg)
+        .build()
+        .expect("valid config")
+}
 
 fn graph() -> hyve::graph::EdgeList {
     DatasetProfile::youtube_scaled().generate(1234)
@@ -15,7 +22,7 @@ fn graph() -> hyve::graph::EdgeList {
 #[test]
 fn full_pipeline_pagerank() {
     let g = graph();
-    let engine = Engine::new(SystemConfig::hyve_opt());
+    let engine = session(SystemConfig::hyve_opt());
     let (report, ranks) = engine
         .run_on_edge_list_with_values(&PageRank::new(10), &g)
         .expect("run");
@@ -43,7 +50,7 @@ fn every_engine_agrees_on_bfs() {
         SystemConfig::hyve(),
         SystemConfig::hyve_opt(),
     ] {
-        let (_, levels) = Engine::new(cfg)
+        let (_, levels) = session(cfg)
             .run_on_edge_list_with_values(&Bfs::new(src), &g)
             .expect("run");
         assert_eq!(levels, expect);
@@ -57,7 +64,7 @@ fn every_engine_agrees_on_bfs() {
 #[test]
 fn explicit_grid_and_planned_grid_agree() {
     let g = graph();
-    let engine = Engine::new(SystemConfig::hyve());
+    let engine = session(SystemConfig::hyve());
     let planned = engine
         .run_on_edge_list(&ConnectedComponents::new(), &g)
         .expect("planned");
@@ -72,16 +79,20 @@ fn explicit_grid_and_planned_grid_agree() {
 #[test]
 fn deterministic_reports() {
     let g = graph();
-    let engine = Engine::new(SystemConfig::hyve_opt());
-    let a = engine.run_on_edge_list(&Sssp::new(VertexId::new(0)), &g).unwrap();
-    let b = engine.run_on_edge_list(&Sssp::new(VertexId::new(0)), &g).unwrap();
+    let engine = session(SystemConfig::hyve_opt());
+    let a = engine
+        .run_on_edge_list(&Sssp::new(VertexId::new(0)), &g)
+        .unwrap();
+    let b = engine
+        .run_on_edge_list(&Sssp::new(VertexId::new(0)), &g)
+        .unwrap();
     assert_eq!(a, b, "simulation must be fully deterministic");
 }
 
 #[test]
 fn cpu_baseline_processes_same_workload() {
     let g = graph();
-    let report = Engine::new(SystemConfig::hyve_opt())
+    let report = session(SystemConfig::hyve_opt())
         .run_on_edge_list(&SpMv::new(), &g)
         .unwrap();
     let cpu = CpuSystem::nxgraph_like();
@@ -103,10 +114,10 @@ fn snap_io_round_trip_through_engine() {
     // SNAP files carry no explicit vertex count, so the parsed graph may
     // drop trailing isolated vertices; costs agree to within a fraction of
     // a percent and functional values agree on the common range.
-    let (a, ranks_a) = Engine::new(SystemConfig::hyve())
+    let (a, ranks_a) = session(SystemConfig::hyve())
         .run_on_edge_list_with_values(&PageRank::new(2), &g)
         .unwrap();
-    let (b, ranks_b) = Engine::new(SystemConfig::hyve())
+    let (b, ranks_b) = session(SystemConfig::hyve())
         .run_on_edge_list_with_values(&PageRank::new(2), &parsed)
         .unwrap();
     let rel = (a.energy().as_pj() - b.energy().as_pj()).abs() / a.energy().as_pj();

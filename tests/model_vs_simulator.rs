@@ -7,16 +7,23 @@
 //! the gap tightly.
 
 use hyve::algorithms::{EdgeProgram, SpMv};
-use hyve::core::{Engine, SystemConfig};
+use hyve::core::{SimulationSession, SystemConfig};
 use hyve::graph::{DatasetProfile, GridGraph};
 use hyve::memsim::{MemoryDevice, SramArray, SramConfig};
 use hyve::model::general::{CostTerm, GraphWorkload, ModelCosts};
+
+/// Builds a sequential session; all configurations here are statically valid.
+fn session(cfg: SystemConfig) -> SimulationSession {
+    SimulationSession::builder(cfg)
+        .build()
+        .expect("valid config")
+}
 
 #[test]
 fn model_energy_tracks_simulator_on_chip_dynamic_energy() {
     // One SpMV pass (one iteration, no convergence ambiguity).
     let graph = DatasetProfile::youtube_scaled().generate(5);
-    let engine = Engine::new(SystemConfig::hyve().with_dataset_scale(1)); // P = 8
+    let engine = session(SystemConfig::hyve().with_dataset_scale(1)); // P = 8
     let program = SpMv::new();
     let report = engine.run_on_edge_list(&program, &graph).unwrap();
     assert_eq!(report.intervals, 8, "want a single super block");
@@ -46,7 +53,10 @@ fn model_energy_tracks_simulator_on_chip_dynamic_energy() {
     let sim_onchip = report.breakdown.onchip_vertex.dynamic_energy;
     // The simulator additionally charges interval fills and the accumulate
     // apply pass, so it must be strictly larger but within ~2.5×.
-    assert!(sim_onchip >= model_local, "{sim_onchip:?} vs {model_local:?}");
+    assert!(
+        sim_onchip >= model_local,
+        "{sim_onchip:?} vs {model_local:?}"
+    );
     assert!(
         sim_onchip.as_pj() < 2.5 * model_local.as_pj(),
         "simulator on-chip {} vs model {}",
@@ -58,7 +68,7 @@ fn model_energy_tracks_simulator_on_chip_dynamic_energy() {
 #[test]
 fn model_edge_term_matches_simulator_edge_stream() {
     let graph = DatasetProfile::wiki_talk_scaled().generate(5);
-    let engine = Engine::new(SystemConfig::hyve().with_dataset_scale(1));
+    let engine = session(SystemConfig::hyve().with_dataset_scale(1));
     let program = SpMv::new();
     let report = engine.run_on_edge_list(&program, &graph).unwrap();
 
@@ -67,7 +77,10 @@ fn model_edge_term_matches_simulator_edge_stream() {
     let predicted = reram.read_energy(grid.edge_storage_bits());
     let simulated = report.breakdown.edge_memory.dynamic_energy;
     let rel = (predicted.as_pj() - simulated.as_pj()).abs() / simulated.as_pj();
-    assert!(rel < 1e-9, "edge stream energies must agree exactly, rel {rel}");
+    assert!(
+        rel < 1e-9,
+        "edge stream energies must agree exactly, rel {rel}"
+    );
 }
 
 #[test]
@@ -78,7 +91,7 @@ fn eq1_pipelining_bounds_simulator_processing_time() {
     let graph = DatasetProfile::as_skitter_scaled().generate(5);
     let cfg = SystemConfig::hyve().with_dataset_scale(1);
     let n = f64::from(cfg.num_pus);
-    let engine = Engine::new(cfg);
+    let engine = session(cfg);
     let program = SpMv::new();
     let report = engine.run_on_edge_list(&program, &graph).unwrap();
 

@@ -4,14 +4,21 @@
 //! regression inverting a conclusion fails.
 
 use hyve::algorithms::{Bfs, ConnectedComponents, PageRank};
-use hyve::core::{Engine, SystemConfig};
+use hyve::core::{SimulationSession, SystemConfig};
 use hyve::graph::{block_sparsity, DatasetProfile, VertexId};
 use hyve::graphr::GraphrEngine;
 use hyve::memsim::CellBits;
 use hyve::model::{compare_edge_storage, AccessPattern};
 
+/// Builds a sequential session; all configurations here are statically valid.
+fn session(cfg: SystemConfig) -> SimulationSession {
+    SimulationSession::builder(cfg)
+        .build()
+        .expect("valid config")
+}
+
 fn eff(cfg: SystemConfig, g: &hyve::graph::EdgeList) -> f64 {
-    Engine::new(cfg)
+    session(cfg)
         .run_on_edge_list(&PageRank::new(10), g)
         .unwrap()
         .mteps_per_watt()
@@ -28,8 +35,14 @@ fn fig16_configuration_ladder() {
     let hyve = eff(SystemConfig::hyve(), &g);
     let opt = eff(SystemConfig::hyve_opt(), &g);
     assert!(opt > hyve, "gating must help: {opt} vs {hyve}");
-    assert!(hyve > sd, "ReRAM edges must beat DRAM edges: {hyve} vs {sd}");
-    assert!(sd > reram, "SRAM buffering must beat raw ReRAM: {sd} vs {reram}");
+    assert!(
+        hyve > sd,
+        "ReRAM edges must beat DRAM edges: {hyve} vs {sd}"
+    );
+    assert!(
+        sd > reram,
+        "SRAM buffering must beat raw ReRAM: {sd} vs {reram}"
+    );
     assert!(reram > dram, "ReRAM must beat all-DRAM: {reram} vs {dram}");
     // §7.3.3: swapping DRAM→ReRAM naively buys far less than HyVE's
     // hierarchy (paper: 1.31× vs 4.03×).
@@ -43,22 +56,22 @@ fn fig16_configuration_ladder() {
 #[test]
 fn fig14_sharing_ordering() {
     let g = DatasetProfile::as_skitter_scaled().generate(77);
-    let gain = |run: &dyn Fn(&Engine) -> f64| {
-        let base = run(&Engine::new(SystemConfig::hyve().with_data_sharing(false)));
-        let shared = run(&Engine::new(SystemConfig::hyve()));
+    let gain = |run: &dyn Fn(&SimulationSession) -> f64| {
+        let base = run(&session(SystemConfig::hyve().with_data_sharing(false)));
+        let shared = run(&session(SystemConfig::hyve()));
         shared / base
     };
-    let bfs = gain(&|e: &Engine| {
+    let bfs = gain(&|e: &SimulationSession| {
         e.run_on_edge_list(&Bfs::new(VertexId::new(0)), &g)
             .unwrap()
             .mteps_per_watt()
     });
-    let cc = gain(&|e: &Engine| {
+    let cc = gain(&|e: &SimulationSession| {
         e.run_on_edge_list(&ConnectedComponents::new(), &g)
             .unwrap()
             .mteps_per_watt()
     });
-    let pr = gain(&|e: &Engine| {
+    let pr = gain(&|e: &SimulationSession| {
         e.run_on_edge_list(&PageRank::new(10), &g)
             .unwrap()
             .mteps_per_watt()
@@ -85,7 +98,10 @@ fn fig13_slc_wins() {
     let slc = eff(SystemConfig::hyve_opt().with_cell_bits(CellBits::Slc), &g);
     let mlc2 = eff(SystemConfig::hyve_opt().with_cell_bits(CellBits::Mlc2), &g);
     let mlc3 = eff(SystemConfig::hyve_opt().with_cell_bits(CellBits::Mlc3), &g);
-    assert!(slc > mlc2 && mlc2 > mlc3, "SLC {slc} / MLC2 {mlc2} / MLC3 {mlc3}");
+    assert!(
+        slc > mlc2 && mlc2 > mlc3,
+        "SLC {slc} / MLC2 {mlc2} / MLC3 {mlc3}"
+    );
 }
 
 /// Fig. 9: sequential reads favour ReRAM (energy, EDP), DRAM keeps delay;
@@ -121,7 +137,7 @@ fn table1_sparse_blocks() {
 #[test]
 fn fig21_hyve_beats_graphr() {
     let g = DatasetProfile::youtube_scaled().generate(77);
-    let hyve = Engine::new(SystemConfig::hyve())
+    let hyve = session(SystemConfig::hyve())
         .run_on_edge_list(&PageRank::new(10), &g)
         .unwrap();
     let graphr = GraphrEngine::new().run(&PageRank::new(10), &g).unwrap();
@@ -137,15 +153,17 @@ fn fig21_hyve_beats_graphr() {
 fn fig18_small_performance_penalty() {
     let g = DatasetProfile::youtube_scaled().generate(77);
     for run in [
-        |e: &Engine, g: &hyve::graph::EdgeList| {
-            e.run_on_edge_list(&Bfs::new(VertexId::new(0)), g).unwrap().elapsed()
+        |e: &SimulationSession, g: &hyve::graph::EdgeList| {
+            e.run_on_edge_list(&Bfs::new(VertexId::new(0)), g)
+                .unwrap()
+                .elapsed()
         },
-        |e: &Engine, g: &hyve::graph::EdgeList| {
+        |e: &SimulationSession, g: &hyve::graph::EdgeList| {
             e.run_on_edge_list(&PageRank::new(10), g).unwrap().elapsed()
         },
     ] {
-        let sd = run(&Engine::new(SystemConfig::acc_sram_dram()), &g);
-        let hyve = run(&Engine::new(SystemConfig::hyve()), &g);
+        let sd = run(&session(SystemConfig::acc_sram_dram()), &g);
+        let hyve = run(&session(SystemConfig::hyve()), &g);
         let slowdown = hyve / sd - 1.0;
         assert!(
             slowdown < 0.20,

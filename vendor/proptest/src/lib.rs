@@ -1,0 +1,107 @@
+//! Offline stand-in for the subset of `proptest` 1.x this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors a
+//! miniature property-testing core under the same crate name (see README
+//! "Offline builds"). Supported surface:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * [`Strategy`](strategy::Strategy) with `prop_map` / `prop_flat_map`,
+//! * range strategies on integers and floats, tuple strategies up to
+//!   arity 6, [`Just`](strategy::Just),
+//! * [`collection::vec`], [`bool::ANY`], [`sample::select`],
+//!   [`any`](arbitrary::any) for primitives and tuples,
+//! * string-literal strategies for simple character-class regexes like
+//!   `"[ -~]{0,40}"`.
+//!
+//! Unlike upstream proptest there is **no shrinking** and no failure
+//! persistence: a failing case panics with the case number so it can be
+//! re-run (generation is deterministic per test name).
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+#[allow(clippy::module_inception)]
+pub mod bool;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a proptest suite conventionally imports.
+pub mod prelude {
+    /// Alias so `prop::sample::select(...)`-style paths resolve.
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                // Returns Result so bodies may `return Ok(())` early, as in
+                // upstream proptest.
+                let mut run = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                let guard = $crate::test_runner::CaseGuard::new(stringify!($name), case);
+                if let ::std::result::Result::Err(e) = run() {
+                    panic!("property `{}` rejected case {}: {}", stringify!($name), case, e);
+                }
+                guard.disarm();
+            }
+        }
+    )*};
+}
