@@ -3,7 +3,8 @@
 //! decision contributes (the DESIGN.md extension beyond the paper's own
 //! figures, which only ablate sharing and gating).
 
-use crate::workloads::{configure, datasets, session, Algorithm};
+use crate::report;
+use crate::workloads::{datasets, Algorithm};
 use hyve_core::SystemConfig;
 use hyve_memsim::CellBits;
 
@@ -50,11 +51,10 @@ fn variants() -> Vec<Variant> {
 pub fn run() -> Vec<Row> {
     let mut rows = Vec::new();
     for (profile, graph) in &datasets() {
-        let baseline_cfg = configure(SystemConfig::hyve_opt(), profile);
-        let baseline = Algorithm::Pr.run_hyve(&session(baseline_cfg.clone()), graph);
+        let baseline = report::measure(SystemConfig::hyve_opt(), Algorithm::Pr, profile, graph);
         for (name, transform) in variants() {
-            let cfg = transform(baseline_cfg.clone());
-            let report = Algorithm::Pr.run_hyve(&session(cfg), graph);
+            let cfg = transform(SystemConfig::hyve_opt());
+            let report = report::measure(cfg, Algorithm::Pr, profile, graph);
             rows.push(Row {
                 variant: name,
                 dataset: profile.tag,
@@ -71,12 +71,12 @@ pub fn mean_by_variant(rows: &[Row]) -> Vec<(&'static str, f64)> {
     variants()
         .iter()
         .map(|(name, _)| {
-            let vals: Vec<f64> = rows
-                .iter()
-                .filter(|r| r.variant == *name)
-                .map(|r| r.relative_efficiency.ln())
-                .collect();
-            (*name, (vals.iter().sum::<f64>() / vals.len() as f64).exp())
+            let gm = report::geomean(
+                rows.iter()
+                    .filter(|r| r.variant == *name)
+                    .map(|r| r.relative_efficiency),
+            );
+            (*name, gm)
         })
         .collect()
 }
@@ -90,12 +90,12 @@ pub fn print() {
             vec![
                 r.variant.to_string(),
                 r.dataset.to_string(),
-                crate::fmt_f(r.relative_efficiency),
-                crate::fmt_f(r.relative_time),
+                report::fmt_f(r.relative_efficiency),
+                report::fmt_f(r.relative_time),
             ]
         })
         .collect();
-    crate::print_table(
+    report::print_table(
         "Ablation: each design choice removed from acc+HyVE-opt (PR)",
         &["variant", "dataset", "rel MTEPS/W", "rel time"],
         &cells,

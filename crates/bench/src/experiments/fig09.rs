@@ -55,13 +55,13 @@ pub fn print() {
             vec![
                 pattern_name(r.pattern).to_string(),
                 format!("{}Gb", r.density_gbit),
-                crate::fmt_f(r.delay),
-                crate::fmt_f(r.energy),
-                crate::fmt_f(r.edp),
+                crate::report::fmt_f(r.delay),
+                crate::report::fmt_f(r.energy),
+                crate::report::fmt_f(r.edp),
             ]
         })
         .collect();
-    crate::print_table(
+    crate::report::print_table(
         "Fig. 9: normalized DRAM/ReRAM (ratio > 1 favours ReRAM)",
         &["pattern", "density", "delay", "energy", "EDP"],
         &rows,

@@ -77,12 +77,12 @@ pub fn print() {
             vec![
                 r.dataset.to_string(),
                 format!("{}Gb", r.density_gbit),
-                crate::fmt_f(r.graphr_ratio),
-                crate::fmt_f(r.hyve_ratio),
+                crate::report::fmt_f(r.graphr_ratio),
+                crate::report::fmt_f(r.hyve_ratio),
             ]
         })
         .collect();
-    crate::print_table(
+    crate::report::print_table(
         "Fig. 10: global vertex memory EDP ratio DRAM/ReRAM (>1 favours ReRAM)",
         &["dataset", "density", "GraphR", "HyVE"],
         &rows,

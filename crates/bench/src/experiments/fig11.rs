@@ -63,15 +63,15 @@ pub fn print() {
         .map(|r| {
             vec![
                 r.dataset.to_string(),
-                crate::fmt_f(r.read_count_ratio),
-                crate::fmt_f(r.write_count_ratio),
-                crate::fmt_f(r.delay_ratio),
-                crate::fmt_f(r.energy_ratio),
-                crate::fmt_f(r.edp_ratio),
+                crate::report::fmt_f(r.read_count_ratio),
+                crate::report::fmt_f(r.write_count_ratio),
+                crate::report::fmt_f(r.delay_ratio),
+                crate::report::fmt_f(r.energy_ratio),
+                crate::report::fmt_f(r.edp_ratio),
             ]
         })
         .collect();
-    crate::print_table(
+    crate::report::print_table(
         "Fig. 11: vertex storage GraphR/HyVE ratios (>1 favours HyVE)",
         &["dataset", "reads", "writes", "delay", "energy", "EDP"],
         &rows,

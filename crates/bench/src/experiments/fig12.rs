@@ -61,11 +61,11 @@ pub fn print() {
         .into_iter()
         .map(|r| {
             let mut cells = vec![r.dataset.to_string()];
-            cells.extend(r.normalized_speed.iter().map(|&v| crate::fmt_f(v)));
+            cells.extend(r.normalized_speed.iter().map(|&v| crate::report::fmt_f(v)));
             cells
         })
         .collect();
-    crate::print_table(
+    crate::report::print_table(
         "Fig. 12: normalized preprocessing speed vs #blocks (P x P)",
         &[
             "dataset", "4x4", "8x8", "16x16", "32x32", "64x64", "128x128", "256x256", "512x512",

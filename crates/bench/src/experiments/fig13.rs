@@ -1,7 +1,8 @@
 //! Fig. 13: energy efficiency with 1/2/3-bit ReRAM cells running PR —
 //! the MLC sense-amplifier overhead outweighs the density win, so SLC wins.
 
-use crate::workloads::{configure, datasets, session, Algorithm};
+use crate::report;
+use crate::workloads::{datasets, Algorithm};
 use hyve_core::SystemConfig;
 use hyve_memsim::CellBits;
 
@@ -30,10 +31,8 @@ pub fn run() -> Vec<Row> {
         .map(|(profile, graph)| {
             let mut eff = [0.0f64; 3];
             for (i, bits) in CellBits::all().into_iter().enumerate() {
-                let cfg = configure(SystemConfig::hyve().with_cell_bits(bits), profile);
-                eff[i] = Algorithm::Pr
-                    .run_hyve(&session(cfg), graph)
-                    .mteps_per_watt();
+                let cfg = SystemConfig::hyve().with_cell_bits(bits);
+                eff[i] = report::measure(cfg, Algorithm::Pr, profile, graph).mteps_per_watt();
             }
             Row {
                 dataset: profile.tag,
@@ -50,14 +49,14 @@ pub fn print() {
         .map(|r| {
             vec![
                 r.dataset.to_string(),
-                crate::fmt_f(r.mteps_per_watt[0]),
-                crate::fmt_f(r.mteps_per_watt[1]),
-                crate::fmt_f(r.mteps_per_watt[2]),
+                report::fmt_f(r.mteps_per_watt[0]),
+                report::fmt_f(r.mteps_per_watt[1]),
+                report::fmt_f(r.mteps_per_watt[2]),
                 if r.slc_wins() { "SLC" } else { "MLC" }.to_string(),
             ]
         })
         .collect();
-    crate::print_table(
+    report::print_table(
         "Fig. 13: MTEPS/W by ReRAM cell bits (PR)",
         &["dataset", "1bit", "2bits", "3bits", "winner"],
         &rows,

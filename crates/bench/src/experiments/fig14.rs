@@ -5,74 +5,46 @@
 //! Paper averages: BFS 1.15×, CC 1.47×, PR 2.19× (1.60× overall) — PR's
 //! wider vertices move the most data, so it benefits the most.
 
-use crate::workloads::{configure, datasets, session, Algorithm};
+use crate::report::{self, GridRow};
 use hyve_core::SystemConfig;
 
-/// One (algorithm, dataset) improvement factor.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Row {
-    /// Algorithm tag.
-    pub algorithm: &'static str,
-    /// Dataset tag.
-    pub dataset: &'static str,
-    /// MTEPS/W with sharing over MTEPS/W without.
-    pub improvement: f64,
-}
+/// One (algorithm, dataset) improvement factor: MTEPS/W with sharing over
+/// MTEPS/W without (in `value`).
+pub type Row = GridRow;
 
 /// Runs the comparison grid.
 pub fn run() -> Vec<Row> {
-    let mut rows = Vec::new();
-    for (profile, graph) in &datasets() {
-        for alg in Algorithm::core_three() {
-            let base_cfg = configure(SystemConfig::hyve().with_data_sharing(false), profile);
-            let shared_cfg = configure(SystemConfig::hyve(), profile);
-            let base = alg.run_hyve(&session(base_cfg), graph).mteps_per_watt();
-            let shared = alg.run_hyve(&session(shared_cfg), graph).mteps_per_watt();
-            rows.push(Row {
-                algorithm: alg.tag(),
-                dataset: profile.tag,
-                improvement: shared / base,
-            });
-        }
-    }
-    rows
+    report::core_grid(|alg, profile, graph| {
+        let base = report::measure(
+            SystemConfig::hyve().with_data_sharing(false),
+            alg,
+            profile,
+            graph,
+        )
+        .mteps_per_watt();
+        let shared = report::measure(SystemConfig::hyve(), alg, profile, graph).mteps_per_watt();
+        shared / base
+    })
 }
 
 /// Geometric-mean improvement per algorithm, in BFS/CC/PR order.
 pub fn mean_by_algorithm(rows: &[Row]) -> Vec<(&'static str, f64)> {
     ["BFS", "CC", "PR"]
         .iter()
-        .map(|tag| {
-            let vals: Vec<f64> = rows
-                .iter()
-                .filter(|r| r.algorithm == *tag)
-                .map(|r| r.improvement)
-                .collect();
-            let gm = vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64;
-            (*tag, gm.exp())
-        })
+        .map(|tag| (*tag, report::geomean_by_algorithm(rows, tag)))
         .collect()
 }
 
 /// Prints the figure's series.
 pub fn print() {
     let rows = run();
-    let cells: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.algorithm.to_string(),
-                r.dataset.to_string(),
-                crate::fmt_f(r.improvement),
-            ]
-        })
-        .collect();
-    crate::print_table(
+    report::print_grid(
         "Fig. 14: data-sharing improvement (MTEPS/W ratio)",
-        &["alg", "dataset", "improvement"],
-        &cells,
+        "improvement",
+        &rows,
     );
-    for (alg, mean) in mean_by_algorithm(&rows) {
-        println!("{alg} mean: {:.2}x", mean);
+    let paper = [("BFS", 1.15), ("CC", 1.47), ("PR", 2.19)];
+    for ((alg, mean), (_, expected)) in mean_by_algorithm(&rows).into_iter().zip(paper) {
+        report::vs_paper_ratio(&format!("{alg} mean"), mean, expected);
     }
 }

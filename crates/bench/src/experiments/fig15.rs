@@ -1,67 +1,34 @@
 //! Fig. 15: energy-efficiency improvement from bank-level power gating,
 //! per algorithm and dataset (paper average: 1.53× over acc+HyVE).
 
-use crate::workloads::{configure, datasets, session, Algorithm};
+use crate::report::{self, GridRow};
 use hyve_core::SystemConfig;
 
-/// One (algorithm, dataset) improvement factor.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Row {
-    /// Algorithm tag.
-    pub algorithm: &'static str,
-    /// Dataset tag.
-    pub dataset: &'static str,
-    /// MTEPS/W with gating over MTEPS/W without.
-    pub improvement: f64,
-}
+/// One (algorithm, dataset) improvement factor: MTEPS/W with gating over
+/// MTEPS/W without (in `value`).
+pub type Row = GridRow;
 
 /// Runs the comparison grid.
 pub fn run() -> Vec<Row> {
-    let mut rows = Vec::new();
-    for (profile, graph) in &datasets() {
-        for alg in Algorithm::core_three() {
-            let base = alg
-                .run_hyve(&session(configure(SystemConfig::hyve(), profile)), graph)
-                .mteps_per_watt();
-            let gated = alg
-                .run_hyve(
-                    &session(configure(SystemConfig::hyve_opt(), profile)),
-                    graph,
-                )
-                .mteps_per_watt();
-            rows.push(Row {
-                algorithm: alg.tag(),
-                dataset: profile.tag,
-                improvement: gated / base,
-            });
-        }
-    }
-    rows
+    report::core_grid(|alg, profile, graph| {
+        let base = report::measure(SystemConfig::hyve(), alg, profile, graph).mteps_per_watt();
+        let gated = report::measure(SystemConfig::hyve_opt(), alg, profile, graph).mteps_per_watt();
+        gated / base
+    })
 }
 
 /// Geometric-mean improvement across all rows.
 pub fn overall_mean(rows: &[Row]) -> f64 {
-    let gm = rows.iter().map(|r| r.improvement.ln()).sum::<f64>() / rows.len() as f64;
-    gm.exp()
+    report::overall_geomean(rows)
 }
 
 /// Prints the figure's series.
 pub fn print() {
     let rows = run();
-    let cells: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.algorithm.to_string(),
-                r.dataset.to_string(),
-                crate::fmt_f(r.improvement),
-            ]
-        })
-        .collect();
-    crate::print_table(
+    report::print_grid(
         "Fig. 15: power-gating improvement (MTEPS/W ratio)",
-        &["alg", "dataset", "improvement"],
-        &cells,
+        "improvement",
+        &rows,
     );
-    println!("overall mean: {:.2}x (paper: 1.53x)", overall_mean(&rows));
+    report::vs_paper_ratio("overall mean", overall_mean(&rows), 1.53);
 }

@@ -2,7 +2,8 @@
 //! configurations (two CPU baselines, five accelerator hierarchies) for
 //! BFS, CC and PR on every dataset.
 
-use crate::workloads::{configure, datasets, session, Algorithm};
+use crate::report;
+use crate::workloads::{datasets, Algorithm};
 use hyve_baselines::CpuSystem;
 use hyve_core::SystemConfig;
 
@@ -55,7 +56,7 @@ pub fn run() -> Vec<Row> {
             ];
             let mut edges_processed = 0;
             for (i, cfg) in acc_configs.into_iter().enumerate() {
-                let report = alg.run_hyve(&session(configure(cfg, profile)), graph);
+                let report = report::measure(cfg, alg, profile, graph);
                 edges_processed = report.edges_processed;
                 eff[2 + i] = report.mteps_per_watt();
             }
@@ -73,12 +74,7 @@ pub fn run() -> Vec<Row> {
 
 /// Geometric mean of HyVE-opt's improvement over a configuration.
 pub fn mean_improvement(rows: &[Row], config: &str) -> f64 {
-    let gm = rows
-        .iter()
-        .map(|r| r.improvement_over(config).ln())
-        .sum::<f64>()
-        / rows.len() as f64;
-    gm.exp()
+    report::geomean(rows.iter().map(|r| r.improvement_over(config)))
 }
 
 /// Prints the figure's series.
@@ -88,22 +84,23 @@ pub fn print() {
         .iter()
         .map(|r| {
             let mut c = vec![r.algorithm.to_string(), r.dataset.to_string()];
-            c.extend(r.mteps_per_watt.iter().map(|&v| crate::fmt_f(v)));
+            c.extend(r.mteps_per_watt.iter().map(|&v| report::fmt_f(v)));
             c
         })
         .collect();
     let mut headers = vec!["alg", "dataset"];
     headers.extend(CONFIGS);
-    crate::print_table("Fig. 16: MTEPS/W by configuration", &headers, &cells);
+    report::print_table("Fig. 16: MTEPS/W by configuration", &headers, &cells);
     for (cfg, paper) in [
         ("CPU+DRAM", 145.71),
         ("acc+DRAM", 5.90),
         ("acc+ReRAM", 4.54),
         ("acc+SRAM+DRAM", 2.00),
     ] {
-        println!(
-            "HyVE-opt vs {cfg}: {:.2}x (paper: {paper}x)",
-            mean_improvement(&rows, cfg)
+        report::vs_paper_ratio(
+            &format!("HyVE-opt vs {cfg}"),
+            mean_improvement(&rows, cfg),
+            paper,
         );
     }
 }

@@ -4,7 +4,8 @@
 //! The paper's takeaways: memory is 88.62% of SD's energy, 75.68% of
 //! HyVE's, 52.91% of opt's; the edge-memory bar is what collapses.
 
-use crate::workloads::{configure, datasets, session, Algorithm};
+use crate::report;
+use crate::workloads::{datasets, Algorithm};
 use hyve_core::SystemConfig;
 
 /// One (config, algorithm, dataset) breakdown, in percent.
@@ -42,7 +43,7 @@ pub fn run() -> Vec<Row> {
     for (label, cfg) in configs {
         for (profile, graph) in &datasets() {
             for alg in Algorithm::core_three() {
-                let report = alg.run_hyve(&session(configure(cfg.clone(), profile)), graph);
+                let report = report::measure(cfg.clone(), alg, profile, graph);
                 let total = report.energy().as_pj();
                 let b = &report.breakdown;
                 rows.push(Row {
@@ -79,21 +80,22 @@ pub fn print() {
                 r.config.to_string(),
                 r.algorithm.to_string(),
                 r.dataset.to_string(),
-                crate::fmt_f(r.logic_pct),
-                crate::fmt_f(r.edge_pct),
-                crate::fmt_f(r.vertex_pct),
+                report::fmt_f(r.logic_pct),
+                report::fmt_f(r.edge_pct),
+                report::fmt_f(r.vertex_pct),
             ]
         })
         .collect();
-    crate::print_table(
+    report::print_table(
         "Fig. 17: energy breakdown (%)",
         &["config", "alg", "dataset", "logic", "edge", "vertex"],
         &cells,
     );
     for (label, paper) in [("SD", 88.62), ("HyVE", 75.68), ("opt", 52.91)] {
-        println!(
-            "{label} memory share: {:.1}% (paper: {paper}%)",
-            mean_memory_pct(&rows, label)
+        report::vs_paper_pct(
+            &format!("{label} memory share"),
+            mean_memory_pct(&rows, label),
+            paper,
         );
     }
 }

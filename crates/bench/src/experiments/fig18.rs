@@ -4,76 +4,40 @@
 //! nothing in raw performance (geometric-mean slowdowns of 1.9%, 2.5% and
 //! 15.1% for BFS, CC, PR).
 
-use crate::workloads::{configure, datasets, session, Algorithm};
+use crate::report::{self, GridRow};
 use hyve_core::SystemConfig;
 
-/// One (algorithm, dataset) performance ratio.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Row {
-    /// Algorithm tag.
-    pub algorithm: &'static str,
-    /// Dataset tag.
-    pub dataset: &'static str,
-    /// `time(SD) / time(HyVE)` — ≤ 1 means HyVE is (slightly) slower.
-    pub sd_over_hyve: f64,
-}
+/// One (algorithm, dataset) performance ratio: `time(SD) / time(HyVE)` in
+/// `value` — ≤ 1 means HyVE is (slightly) slower.
+pub type Row = GridRow;
 
 /// Runs the comparison grid.
 pub fn run() -> Vec<Row> {
-    let mut rows = Vec::new();
-    for (profile, graph) in &datasets() {
-        for alg in Algorithm::core_three() {
-            let sd = alg
-                .run_hyve(
-                    &session(configure(SystemConfig::acc_sram_dram(), profile)),
-                    graph,
-                )
-                .elapsed();
-            let hyve = alg
-                .run_hyve(&session(configure(SystemConfig::hyve(), profile)), graph)
-                .elapsed();
-            rows.push(Row {
-                algorithm: alg.tag(),
-                dataset: profile.tag,
-                sd_over_hyve: sd / hyve,
-            });
-        }
-    }
-    rows
+    report::core_grid(|alg, profile, graph| {
+        let sd = report::measure(SystemConfig::acc_sram_dram(), alg, profile, graph).elapsed();
+        let hyve = report::measure(SystemConfig::hyve(), alg, profile, graph).elapsed();
+        sd / hyve
+    })
 }
 
 /// Geometric-mean slowdown (1 − ratio) per algorithm tag.
 pub fn mean_slowdown(rows: &[Row], alg: &str) -> f64 {
-    let vals: Vec<f64> = rows
-        .iter()
-        .filter(|r| r.algorithm == alg)
-        .map(|r| r.sd_over_hyve.ln())
-        .collect();
-    1.0 - (vals.iter().sum::<f64>() / vals.len() as f64).exp()
+    1.0 - report::geomean_by_algorithm(rows, alg)
 }
 
 /// Prints the figure's series.
 pub fn print() {
     let rows = run();
-    let cells: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.algorithm.to_string(),
-                r.dataset.to_string(),
-                crate::fmt_f(r.sd_over_hyve),
-            ]
-        })
-        .collect();
-    crate::print_table(
+    report::print_grid(
         "Fig. 18: execution time ratio SD/HyVE (1.0 = parity)",
-        &["alg", "dataset", "SD/HyVE"],
-        &cells,
+        "SD/HyVE",
+        &rows,
     );
     for (alg, paper) in [("BFS", 1.9), ("CC", 2.5), ("PR", 15.1)] {
-        println!(
-            "{alg} slowdown: {:.1}% (paper: {paper}%)",
-            100.0 * mean_slowdown(&rows, alg)
+        report::vs_paper_pct(
+            &format!("{alg} slowdown"),
+            100.0 * mean_slowdown(&rows, alg),
+            paper,
         );
     }
 }

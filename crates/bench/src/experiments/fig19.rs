@@ -4,6 +4,7 @@
 //! dense counting-sort into its planned P×P grid versus GraphR's
 //! associative build of `⌈V/8⌉²` logical 8×8 blocks.
 
+use crate::report;
 use crate::workloads::{configure, datasets, session};
 use hyve_algorithms::PageRank;
 use hyve_core::SystemConfig;
@@ -68,15 +69,18 @@ pub fn print() {
                 r.dataset.to_string(),
                 format!("{:.4}s", r.hyve_s),
                 format!("{:.4}s", r.graphr_s),
-                crate::fmt_f(r.ratio),
+                report::fmt_f(r.ratio),
             ]
         })
         .collect();
-    crate::print_table(
-        "Fig. 19: preprocessing time (GraphR/HyVE, paper avg 6.73x)",
+    report::print_table(
+        "Fig. 19: preprocessing time GraphR/HyVE",
         &["dataset", "HyVE", "GraphR", "ratio"],
         &cells,
     );
-    let gm = rows.iter().map(|r| r.ratio.ln()).sum::<f64>() / rows.len() as f64;
-    println!("mean ratio: {:.2}x", gm.exp());
+    report::vs_paper_ratio(
+        "mean ratio",
+        report::geomean(rows.iter().map(|r| r.ratio)),
+        6.73,
+    );
 }

@@ -107,13 +107,13 @@ pub fn print() {
         .map(|r| {
             vec![
                 r.dataset.to_string(),
-                crate::fmt_f(r.hyve_meps),
-                crate::fmt_f(r.graphr_meps),
-                crate::fmt_f(r.ratio),
+                crate::report::fmt_f(r.hyve_meps),
+                crate::report::fmt_f(r.graphr_meps),
+                crate::report::fmt_f(r.ratio),
             ]
         })
         .collect();
-    crate::print_table(
+    crate::report::print_table(
         "Fig. 20: dynamic update throughput (M edges changed/s, 1 thread)",
         &["dataset", "HyVE", "GraphR", "ratio"],
         &cells,

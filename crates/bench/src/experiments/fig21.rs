@@ -2,6 +2,7 @@
 //! five algorithms (paper: HyVE 5.12× faster, 2.83× less energy, 17.63×
 //! lower EDP on average).
 
+use crate::report;
 use crate::workloads::{configure, datasets, session, Algorithm};
 use hyve_core::SystemConfig;
 use hyve_graphr::GraphrEngine;
@@ -44,8 +45,7 @@ pub fn run() -> Vec<Row> {
 
 /// Geometric means across all rows: (delay, energy, edp).
 pub fn means(rows: &[Row]) -> (f64, f64, f64) {
-    let n = rows.len() as f64;
-    let gm = |f: fn(&Row) -> f64| (rows.iter().map(|r| f(r).ln()).sum::<f64>() / n).exp();
+    let gm = |f: fn(&Row) -> f64| report::geomean(rows.iter().map(f));
     (gm(|r| r.delay), gm(|r| r.energy), gm(|r| r.edp))
 }
 
@@ -58,19 +58,19 @@ pub fn print() {
             vec![
                 r.algorithm.to_string(),
                 r.dataset.to_string(),
-                crate::fmt_f(r.delay),
-                crate::fmt_f(r.energy),
-                crate::fmt_f(r.edp),
+                report::fmt_f(r.delay),
+                report::fmt_f(r.energy),
+                report::fmt_f(r.edp),
             ]
         })
         .collect();
-    crate::print_table(
+    report::print_table(
         "Fig. 21: GraphR/HyVE ratios (>1 favours HyVE)",
         &["alg", "dataset", "delay", "energy", "EDP"],
         &cells,
     );
     let (d, e, x) = means(&rows);
-    println!(
-        "means: delay {d:.2}x (paper 5.12), energy {e:.2}x (paper 2.83), EDP {x:.2}x (paper 17.63)"
-    );
+    report::vs_paper_ratio("mean delay", d, 5.12);
+    report::vs_paper_ratio("mean energy", e, 2.83);
+    report::vs_paper_ratio("mean EDP", x, 17.63);
 }

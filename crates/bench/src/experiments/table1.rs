@@ -54,13 +54,13 @@ pub fn print() {
         .map(|r| {
             vec![
                 r.dataset.to_string(),
-                crate::fmt_f(r.navg),
+                crate::report::fmt_f(r.navg),
                 r.non_empty_blocks.to_string(),
-                crate::fmt_f(r.paper_navg),
+                crate::report::fmt_f(r.paper_navg),
             ]
         })
         .collect();
-    crate::print_table(
+    crate::report::print_table(
         "Table 1: avg edges in non-empty 8x8 blocks",
         &["dataset", "Navg", "blocks", "paper Navg"],
         &rows,

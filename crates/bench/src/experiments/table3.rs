@@ -49,13 +49,13 @@ pub fn print() {
             vec![
                 r.target.to_string(),
                 format!("{}bits", r.output_bits),
-                crate::fmt_f(r.energy_pj),
-                crate::fmt_f(r.period_ps),
-                crate::fmt_f(r.power_per_bit_mw),
+                crate::report::fmt_f(r.energy_pj),
+                crate::report::fmt_f(r.period_ps),
+                crate::report::fmt_f(r.power_per_bit_mw),
             ]
         })
         .collect();
-    crate::print_table(
+    crate::report::print_table(
         "Table 3: bank configurations (energy pJ / period ps / mW per bit)",
         &["target", "width", "energy", "period", "mW/bit"],
         &rows,
@@ -65,6 +65,6 @@ pub fn print() {
         "chosen: {} {} bits ({} mW/bit)",
         c.target,
         c.output_bits,
-        crate::fmt_f(c.power_per_bit_mw)
+        crate::report::fmt_f(c.power_per_bit_mw)
     );
 }

@@ -3,7 +3,8 @@
 //! every dataset — the design-space exploration behind the paper's SRAM
 //! sweet-spot conclusion.
 
-use crate::workloads::{configure, datasets, session, Algorithm};
+use crate::report;
+use crate::workloads::{datasets, Algorithm};
 use hyve_core::SystemConfig;
 
 /// SRAM capacities of the paper's sweep.
@@ -46,15 +47,11 @@ pub fn run() -> Vec<Row> {
                 for sharing in [false, true] {
                     let mut eff = [0.0f64; 4];
                     for (i, mb) in SRAM_MB.iter().enumerate() {
-                        let cfg = configure(
-                            SystemConfig::hyve()
-                                .with_sram_mb(*mb)
-                                .with_data_sharing(sharing)
-                                .with_power_gating(gating),
-                            profile,
-                        );
-                        let report = alg.run_hyve(&session(cfg), graph);
-                        eff[i] = report.mteps_per_watt();
+                        let cfg = SystemConfig::hyve()
+                            .with_sram_mb(*mb)
+                            .with_data_sharing(sharing)
+                            .with_power_gating(gating);
+                        eff[i] = report::measure(cfg, alg, profile, graph).mteps_per_watt();
                     }
                     rows.push(Row {
                         algorithm: alg.tag(),
@@ -84,12 +81,12 @@ pub fn print() {
             .filter(|r| r.power_gating == gating && r.data_sharing == sharing)
             .map(|r| {
                 let mut cells = vec![r.algorithm.to_string(), r.dataset.to_string()];
-                cells.extend(r.mteps_per_watt.iter().map(|&v| crate::fmt_f(v)));
+                cells.extend(r.mteps_per_watt.iter().map(|&v| report::fmt_f(v)));
                 cells.push(format!("{}MB", r.sweet_spot_mb()));
                 cells
             })
             .collect();
-        crate::print_table(
+        report::print_table(
             &format!("Table 4 ({label}): MTEPS/W vs SRAM size"),
             &["alg", "dataset", "2MB", "4MB", "8MB", "16MB", "best"],
             &block,

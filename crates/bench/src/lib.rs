@@ -29,30 +29,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod report;
 pub mod workloads;
 
-use std::fmt::Display;
-
-/// Prints a fixed-width table: a header row then data rows.
-pub fn print_table<H: Display, R: Display>(title: &str, headers: &[H], rows: &[Vec<R>]) {
-    println!("\n== {title} ==");
-    let header_line: Vec<String> = headers.iter().map(|h| format!("{h:>12}")).collect();
-    println!("{}", header_line.join(" "));
-    for row in rows {
-        let line: Vec<String> = row.iter().map(|c| format!("{c:>12}")).collect();
-        println!("{}", line.join(" "));
-    }
-}
-
-/// Formats a float compactly for table cells.
-pub fn fmt_f(v: f64) -> String {
-    if v == 0.0 {
-        "0".to_string()
-    } else if v.abs() >= 100.0 {
-        format!("{v:.0}")
-    } else if v.abs() >= 1.0 {
-        format!("{v:.2}")
-    } else {
-        format!("{v:.3}")
-    }
-}
+pub use report::{fmt_f, print_table};

@@ -324,9 +324,10 @@ fn info<W: Write>(args: SourceArgs, out: &mut W) -> Result<(), CliError> {
     .map_err(io_err)?;
     writeln!(out, "8x8 blocks (used) : {}", stats.non_empty_blocks).map_err(io_err)?;
     writeln!(out, "Navg              : {:.2}", stats.avg_edges_per_block).map_err(io_err)?;
-    let p = session_for(SystemConfig::hyve_opt(), 1)?
-        .plan_intervals(&PageRank::new(10), graph.num_vertices());
-    writeln!(out, "planned intervals : {p} (PR, 2 MB SRAM, scaled)").map_err(io_err)
+    let session = session_for(SystemConfig::hyve_opt(), 1)?;
+    let p = session.plan_intervals(&PageRank::new(10), graph.num_vertices());
+    writeln!(out, "planned intervals : {p} (PR, 2 MB SRAM, scaled)").map_err(io_err)?;
+    writeln!(out, "{}", session.hierarchy().spec()).map_err(io_err)
 }
 
 fn gen<W: Write>(args: GenArgs, out: &mut W) -> Result<(), CliError> {
@@ -424,6 +425,15 @@ mod tests {
         let s = exec("info --dataset wk").unwrap();
         assert!(s.contains("Navg"));
         assert!(s.contains("planned intervals"));
+    }
+
+    #[test]
+    fn info_prints_lowered_hierarchy_spec() {
+        let s = exec("info --dataset yt").unwrap();
+        assert!(s.contains("hierarchy acc+HyVE-opt"), "{s}");
+        assert!(s.contains("edge stream:   ReRAM"), "{s}");
+        assert!(s.contains("global vertex: DRAM"), "{s}");
+        assert!(s.contains("local vertex:  SRAM"), "{s}");
     }
 
     #[test]

@@ -1,0 +1,360 @@
+//! Phase-level cost-accounting passes over the memory hierarchy.
+//!
+//! Each pass models one phase of Algorithm 2 — the edge stream, interval
+//! traffic with/without sharing, on-chip access + PU work, router
+//! overhead, the random-access fallback, and background power — reading
+//! the static [`Workload`] description and writing into its channels'
+//! [`Ledgers`]. The engine assembles the pass outputs into
+//! [`PhaseTimes`](crate::stats::PhaseTimes) and scales by the functional
+//! run's iteration count.
+//!
+//! **Bit-exactness contract:** the golden-snapshot suite pins every float
+//! in a [`RunReport`](crate::stats::RunReport). Float accumulation is
+//! order-sensitive, so the order of `record_*` calls *per channel* — and
+//! the arithmetic inside each pass — must not be reordered without
+//! re-blessing the baselines.
+
+use crate::exec::BlockPlan;
+use crate::hierarchy::{Channel, HierarchyInstance, Ledgers};
+use crate::pu::ProcessingUnit;
+use crate::router::Router;
+use hyve_algorithms::{EdgeProgram, ExecutionMode};
+use hyve_graph::GridGraph;
+use hyve_memsim::{Energy, Power, Time};
+
+/// Banks that can overlap random accesses on a channel.
+const BANK_PARALLELISM: f64 = 16.0;
+
+/// Requests the memory controller keeps in flight on a sequential stream,
+/// hiding per-access latency behind the data transfer.
+const OUTSTANDING_REQUESTS: f64 = 16.0;
+
+/// Static, value-independent description of one run's work: every
+/// iteration makes exactly the same memory accesses (§7.1), so the passes
+/// only need these scalars plus the hierarchy.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Workload {
+    /// Processing units `N`.
+    pub n: u32,
+    /// Interval partition count `P`.
+    pub p: u32,
+    /// Super blocks per side, `S = P/N`.
+    pub s: u32,
+    /// Vertices in the graph.
+    pub nv: u64,
+    /// Edges in the graph.
+    pub ne: u64,
+    /// Traversals per edge (2 when the program walks edges undirected).
+    pub traversal_factor: u64,
+    /// Bits per vertex value.
+    pub value_bits: u64,
+    /// 32-bit words per vertex value.
+    pub words_per_value: u64,
+    /// Whether edge work uses the arithmetic (vs. compare) ALU path.
+    pub arithmetic: bool,
+    /// Whether the program runs an apply pass over resident vertices.
+    pub accumulate: bool,
+    /// Σ over schedule steps of the step's largest block, in edges.
+    pub sync_edges: u64,
+    /// Stored edge-array size in bits, including block headers.
+    pub edge_bits: u64,
+}
+
+impl Workload {
+    /// Captures the scalars for one `(program, grid, plan)` run.
+    pub(crate) fn for_run<P: EdgeProgram>(
+        program: &P,
+        grid: &GridGraph,
+        plan: &BlockPlan,
+        num_pus: u32,
+    ) -> Workload {
+        let p = grid.num_intervals();
+        let value_bits = u64::from(program.value_bits());
+        Workload {
+            n: num_pus,
+            p,
+            s: p / num_pus,
+            nv: u64::from(grid.num_vertices()),
+            ne: grid.num_edges(),
+            traversal_factor: if program.undirected() { 2 } else { 1 },
+            value_bits,
+            words_per_value: value_bits.div_ceil(32).max(1),
+            arithmetic: program.arithmetic(),
+            accumulate: program.mode() == ExecutionMode::Accumulate,
+            sync_edges: plan.sync_edges(),
+            edge_bits: grid.edge_storage_bits(),
+        }
+    }
+
+    /// Edge traversals per iteration.
+    pub(crate) fn traversals(&self) -> u64 {
+        self.ne * self.traversal_factor
+    }
+}
+
+/// Per-iteration cost of the sequential scan over the whole edge array.
+pub(crate) struct EdgeStream {
+    /// Dynamic read energy of one full scan.
+    pub energy: Energy,
+    /// Streaming time of one full scan.
+    pub stream_time: Time,
+}
+
+/// Edge-stream pass: the edge-centric model reads *all* edges every
+/// iteration (§7.1), one pipelined sequential stream per pass.
+pub(crate) fn edge_stream(edge: &Channel, w: &Workload) -> EdgeStream {
+    let dev = edge.device();
+    EdgeStream {
+        energy: dev.read_energy(w.edge_bits),
+        stream_time: dev.sequential_read_time(w.edge_bits),
+    }
+}
+
+impl EdgeStream {
+    /// Records the scan in the edge channel's ledger. Called after the
+    /// vertex-side passes so the edge ledger's accumulation order matches
+    /// the report contract.
+    pub(crate) fn commit(&self, w: &Workload, ledgers: &mut Ledgers) {
+        ledgers
+            .edge
+            .record_read(w.edge_bits, self.energy, self.stream_time);
+    }
+}
+
+/// Phase times produced by the interval-traffic pass.
+pub(crate) struct IntervalTraffic {
+    /// Time to load source + destination intervals on-chip.
+    pub loading: Time,
+    /// Time to write destination intervals back.
+    pub updating: Time,
+}
+
+/// Interval-traffic pass (hierarchies with an on-chip tier).
+///
+/// With data sharing (Algorithm 2 + router): destination intervals load
+/// once and write back once per iteration (Eq. 7); source intervals load
+/// once per super block (Eq. 8 ⇒ `Nv·P/N` vertices). Without sharing
+/// (Fig. 14's baseline): every step reloads its source interval from
+/// off-chip — `Nv·P` source vertices per iteration. Destination intervals
+/// stay resident either way.
+pub(crate) fn interval_traffic(
+    global: &Channel,
+    local: &Channel,
+    data_sharing: bool,
+    w: &Workload,
+    ledgers: &mut Ledgers,
+) -> IntervalTraffic {
+    let (dst_load_vertices, dst_store_vertices, src_load_vertices) = if data_sharing {
+        (w.nv, w.nv, w.nv * u64::from(w.s))
+    } else {
+        (w.nv, w.nv, w.nv * u64::from(w.p))
+    };
+    let dst_load_bits = dst_load_vertices * w.value_bits;
+    let src_load_bits = src_load_vertices * w.value_bits;
+    let interval_loads = if data_sharing {
+        u64::from(w.p) + u64::from(w.s * w.s) * u64::from(w.n)
+    } else {
+        u64::from(w.p) + u64::from(w.s * w.s) * u64::from(w.n) * u64::from(w.n)
+    };
+
+    // Off-chip loads stream sequentially; on-chip fills proceed in
+    // parallel across PU memories, so the channel is the bottleneck.
+    // Chips on the vertex channel stream in parallel (ganged like a DIMM
+    // rank), multiplying sequential bandwidth. Interval-load request
+    // latencies pipeline behind the stream: the controller keeps many
+    // requests outstanding, so latency only shows when it exceeds the
+    // streaming time.
+    let vdev = global.device();
+    let load_bits = dst_load_bits + src_load_bits;
+    let stream = vdev.sequential_read_time(load_bits / u64::from(global.chips()));
+    let latency = global.costs().read_latency * (interval_loads as f64 / OUTSTANDING_REQUESTS);
+    let lt_channel = stream.max(latency);
+    let lt_local = local.device().bulk_transfer_time(load_bits) / f64::from(w.n);
+    let loading = lt_channel.max(lt_local);
+    ledgers
+        .global_vertex
+        .record_read(load_bits, vdev.read_energy(load_bits), lt_channel);
+    ledgers.local_vertex.record_write(
+        load_bits,
+        local.device().bulk_write_energy(load_bits),
+        Time::ZERO,
+    );
+
+    // Write-back of destination intervals streams at the device's
+    // sequential-write rate: burst-pipelined on DRAM, program-pulse-limited
+    // on ReRAM — the §3.2 reason HyVE keeps vertices in DRAM.
+    let store_bits = dst_store_vertices * w.value_bits;
+    let ut_channel = global.costs().write_latency * f64::from(w.p)
+        + global.costs().sequential_write_period
+            * (store_bits.div_ceil(u64::from(global.costs().output_bits * global.chips()))) as f64;
+    ledgers
+        .global_vertex
+        .record_write(store_bits, vdev.write_energy(store_bits), ut_channel);
+    ledgers.local_vertex.record_read(
+        store_bits,
+        local.device().bulk_read_energy(store_bits),
+        Time::ZERO,
+    );
+    IntervalTraffic {
+        loading,
+        updating: ut_channel,
+    }
+}
+
+/// On-chip access + PU pass: Eq. (1)'s per-edge pipelining (the bottleneck
+/// stage among edge supply, source read, destination read+write and the PU
+/// sets the period) and the per-edge on-chip/logic energy. Returns the
+/// processing time of one iteration.
+pub(crate) fn onchip_processing(
+    edge: &Channel,
+    local: &Channel,
+    pu: &ProcessingUnit,
+    w: &Workload,
+    ledgers: &mut Ledgers,
+) -> Time {
+    let edges_per_access = (u64::from(edge.costs().output_bits) / hyve_graph::Edge::BITS).max(1);
+    let edge_supply = edge.costs().burst_period * (f64::from(w.n) / edges_per_access as f64);
+    let src_stage = local.costs().word_read_latency * w.words_per_value as f64;
+    let dst_stage = (local.costs().word_read_latency + local.costs().word_write_latency)
+        * w.words_per_value as f64;
+    let pu_stage = pu.pipelined_period();
+    let per_edge =
+        edge_supply.max(src_stage).max(dst_stage).max(pu_stage) * w.traversal_factor as f64;
+
+    // Steps synchronise: each step costs the *largest* block in it; the
+    // per-step maxima are memoized in the block plan.
+    let processing = per_edge * w.sync_edges as f64;
+
+    // Per-edge on-chip + PU energy.
+    let traversals = w.traversals();
+    let local_dev = local.device();
+    let word_read = local_dev.read_energy(32) * w.words_per_value as f64;
+    let word_write = local_dev.write_energy(32) * w.words_per_value as f64;
+    let per_edge_onchip = word_read * 2.0 + word_write;
+    ledgers.local_vertex.record_read(
+        traversals * w.value_bits * 2,
+        per_edge_onchip * traversals as f64,
+        Time::ZERO,
+    );
+    ledgers.logic.record_read(
+        0,
+        pu.edge_energy(w.arithmetic) * traversals as f64,
+        Time::ZERO,
+    );
+
+    // Accumulate programs run an apply pass over resident vertices: read
+    // accumulator + previous value, write result, one ALU op.
+    if w.accumulate {
+        let apply_ops = w.nv;
+        ledgers.local_vertex.record_read(
+            apply_ops * w.value_bits * 2,
+            (word_read * 2.0 + word_write) * apply_ops as f64,
+            Time::ZERO,
+        );
+        ledgers
+            .logic
+            .record_read(0, pu.edge_energy(true) * apply_ops as f64, Time::ZERO);
+    }
+    processing
+}
+
+/// Router pass: reroute per step, hop energy on every shared source read
+/// (§4.2). Returns the per-iteration rerouting overhead time.
+pub(crate) fn router_overhead(router: &Router, w: &Workload, ledgers: &mut Ledgers) -> Time {
+    let steps = u64::from(w.s * w.s) * u64::from(w.n);
+    let hop = router.hop_energy_per_word() * (w.traversals() * w.words_per_value) as f64
+        + router.reroute_energy() * steps as f64;
+    ledgers.logic.record_read(0, hop, Time::ZERO);
+    router.reroute_latency() * steps as f64
+}
+
+/// Random-access fallback (no on-chip tier): every vertex touch goes
+/// straight at the off-chip device, partially hidden by bank-level
+/// parallelism. Returns the processing time of one iteration.
+pub(crate) fn random_access(
+    global: &Channel,
+    pu: &ProcessingUnit,
+    w: &Workload,
+    ledgers: &mut Ledgers,
+) -> Time {
+    let traversals = w.traversals();
+    let vdev = global.device();
+    let rd = vdev.random_read_energy(w.value_bits);
+    let wr = vdev.random_write_energy(w.value_bits);
+    ledgers.global_vertex.record_read(
+        traversals * w.value_bits * 2,
+        rd * 2.0 * traversals as f64,
+        Time::ZERO,
+    );
+    ledgers.global_vertex.record_write(
+        traversals * w.value_bits,
+        wr * traversals as f64,
+        Time::ZERO,
+    );
+    ledgers.logic.record_read(
+        0,
+        pu.edge_energy(w.arithmetic) * traversals as f64,
+        Time::ZERO,
+    );
+
+    // Three random vertex accesses per edge, overlapped across banks.
+    let per_edge_latency =
+        (global.costs().read_latency * 2.0 + global.costs().write_latency) / BANK_PARALLELISM;
+    let per_edge = per_edge_latency.max(pu.pipelined_period()) * w.traversal_factor as f64;
+    per_edge * w.ne as f64
+}
+
+/// Scales each channel's dynamic counters by the iteration count. Runs
+/// before the background pass: background energy accrues over the *total*
+/// runtime and must not be scaled again.
+pub(crate) fn scale_by_iterations(ledgers: &mut Ledgers, iters: f64) {
+    for stats in [
+        &mut ledgers.edge,
+        &mut ledgers.global_vertex,
+        &mut ledgers.local_vertex,
+        &mut ledgers.logic,
+    ] {
+        stats.reads = (stats.reads as f64 * iters) as u64;
+        stats.writes = (stats.writes as f64 * iters) as u64;
+        stats.bits_read = (stats.bits_read as f64 * iters) as u64;
+        stats.bits_written = (stats.bits_written as f64 * iters) as u64;
+        stats.dynamic_energy *= iters;
+        stats.busy_time *= iters;
+    }
+}
+
+/// Background pass: leakage/refresh over the whole run. The edge channel
+/// is gated when the hierarchy carries a power-gating controller (§4.1);
+/// the vertex channel stays powered (random/bursty traffic).
+pub(crate) fn background(
+    hierarchy: &HierarchyInstance,
+    pu: &ProcessingUnit,
+    total_time: Time,
+    iterations: u32,
+    w: &Workload,
+    ledgers: &mut Ledgers,
+) {
+    let edge_bg = match hierarchy.gating() {
+        Some(gating) => gating.background_energy(total_time, w.edge_bits, iterations),
+        None => {
+            hierarchy.edge().costs().background_power
+                * f64::from(hierarchy.edge().chips())
+                * total_time
+        }
+    };
+    ledgers.edge.record_background(edge_bg);
+
+    let global = hierarchy.global_vertex();
+    ledgers.global_vertex.record_background(
+        global.costs().background_power * f64::from(global.chips()) * total_time,
+    );
+    if let Some(local) = hierarchy.local_vertex() {
+        ledgers
+            .local_vertex
+            .record_background(local.costs().background_power * total_time);
+    }
+    let logic_power = pu.leakage() * f64::from(w.n)
+        + hierarchy.router().map_or(Power::ZERO, Router::leakage)
+        + hierarchy.controller_power();
+    ledgers.logic.record_background(logic_power * total_time);
+}

@@ -33,7 +33,7 @@ pub enum VertexMemoryKind {
     Reram,
 }
 
-/// Full system configuration for an [`Engine`](crate::Engine) run.
+/// Full system configuration for a [`SimulationSession`](crate::SimulationSession) run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Descriptive name shown in reports.

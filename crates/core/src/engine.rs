@@ -23,53 +23,16 @@
 //! on (each PU then reads other PUs' source memories through the router,
 //! round-robin across `N` steps) and once per *step* when it is off.
 
-use crate::config::{EdgeMemoryKind, SystemConfig, VertexMemoryKind};
+use crate::accounting::{self, Workload};
+use crate::config::SystemConfig;
 use crate::error::CoreError;
 use crate::exec::{fan_out, BlockPlan, ExecutionStrategy};
+use crate::hierarchy::{HierarchyInstance, HierarchySpec};
 use crate::pu::ProcessingUnit;
-use crate::router::Router;
-use crate::stats::{EnergyBreakdown, PhaseTimes, RunReport};
+use crate::stats::{PhaseTimes, RunReport};
 use hyve_algorithms::{EdgeProgram, ExecutionMode, GraphMeta, IterationBound};
 use hyve_graph::{EdgeList, GridGraph, VertexId};
-use hyve_memsim::{
-    BankPowerGating, DramChip, Energy, MemoryDevice, Power, PowerGatingConfig, ReramChip,
-    SramArray, Time,
-};
-
-/// Number of memory chips provisioned on the edge-memory channel. The
-/// subsystem is sized for large graphs, so its background power does not
-/// shrink with the (scaled) dataset — this is what bank-level power gating
-/// recovers (§4.1, Fig. 15).
-const EDGE_CHANNEL_CHIPS: u32 = 8;
-
-/// Chips on the off-chip vertex channel (vertex data is 10–100× smaller
-/// than edges, §3).
-const VERTEX_CHANNEL_CHIPS: u32 = 2;
-
-/// Banks that can overlap random accesses on a channel.
-const BANK_PARALLELISM: f64 = 16.0;
-
-/// Requests the memory controller keeps in flight on a sequential stream,
-/// hiding per-access latency behind the data transfer.
-const OUTSTANDING_REQUESTS: f64 = 16.0;
-
-/// Static power of the hybrid memory controller and miscellaneous logic.
-const CONTROLLER_POWER: Power = Power::from_mw(40.0);
-
-/// Either main-memory technology, behind one object.
-enum Channel {
-    Reram(ReramChip),
-    Dram(DramChip),
-}
-
-impl Channel {
-    fn device(&self) -> &dyn MemoryDevice {
-        match self {
-            Channel::Reram(c) => c,
-            Channel::Dram(c) => c,
-        }
-    }
-}
+use hyve_memsim::Time;
 
 /// Cost of the one-shot preprocessing step: writing the partitioned edge
 /// data into the edge memory and the initial vertex values into the global
@@ -88,27 +51,46 @@ pub struct PreprocessingReport {
     pub time: Time,
 }
 
-/// The HyVE simulator.
+/// The HyVE simulator core.
 ///
-/// See the [crate-level docs](crate) for an end-to-end example.
+/// Crate-private since the session API landed: construct a
+/// [`SimulationSession`](crate::SimulationSession) instead — the builder
+/// validates the configuration and constructs the memory hierarchy once,
+/// and every run borrows both.
 #[derive(Debug, Clone)]
-pub struct Engine {
+pub(crate) struct Engine {
     config: SystemConfig,
+    hierarchy: HierarchyInstance,
     pu: ProcessingUnit,
 }
 
 impl Engine {
-    /// Creates an engine for a configuration.
-    pub fn new(config: SystemConfig) -> Self {
-        Engine {
+    /// Validates the configuration, lowers it into a
+    /// [`HierarchySpec`] and constructs every device model once.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] from [`SystemConfig::validate`] or
+    /// device-model construction.
+    pub(crate) fn try_new(config: SystemConfig) -> Result<Self, CoreError> {
+        config.validate()?;
+        let hierarchy = HierarchyInstance::build(HierarchySpec::lower(&config))?;
+        Ok(Engine {
             config,
+            hierarchy,
             pu: ProcessingUnit::new(),
-        }
+        })
     }
 
     /// The engine's configuration.
-    pub fn config(&self) -> &SystemConfig {
+    pub(crate) fn config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// The fully-constructed memory hierarchy, built at session build time
+    /// and reused by every run.
+    pub(crate) fn hierarchy(&self) -> &HierarchyInstance {
+        &self.hierarchy
     }
 
     /// Picks the interval count `P` for a graph: the smallest multiple of
@@ -137,10 +119,13 @@ impl Engine {
     }
 
     /// Partitions the edge list with the planned interval count and runs.
+    /// Test-only shorthand: the session layer has its own report-only
+    /// wrappers.
     ///
     /// # Errors
     ///
     /// Propagates configuration validation and partitioning errors.
+    #[cfg(test)]
     pub fn run_on_edge_list<P: EdgeProgram>(
         &self,
         program: &P,
@@ -173,6 +158,7 @@ impl Engine {
     ///
     /// [`CoreError::Unschedulable`] when `P mod N ≠ 0`; configuration errors
     /// otherwise.
+    #[cfg(test)]
     pub fn run<P: EdgeProgram>(
         &self,
         program: &P,
@@ -204,7 +190,6 @@ impl Engine {
         grid: &GridGraph,
         strategy: ExecutionStrategy,
     ) -> Result<(RunReport, Vec<P::Value>), CoreError> {
-        self.config.validate()?;
         let n = self.config.num_pus;
         let p = grid.num_intervals();
         if !p.is_multiple_of(n) && p >= n {
@@ -225,7 +210,7 @@ impl Engine {
             self.functional_run(program, grid, &plan, strategy);
 
         // ---- cost pass --------------------------------------------------
-        let report = self.account(program, grid, iterations, &changed_per_iter, &plan)?;
+        let report = self.account(program, grid, iterations, &changed_per_iter, &plan);
         Ok((report, values))
     }
 
@@ -235,21 +220,14 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Propagates configuration validation errors.
+    /// None today; kept fallible for future grid-dependent validation.
     pub fn preprocessing_report<P: EdgeProgram>(
         &self,
         program: &P,
         grid: &GridGraph,
     ) -> Result<PreprocessingReport, CoreError> {
-        self.config.validate()?;
-        let edge_mem: Box<dyn MemoryDevice> = match self.config.edge_memory {
-            EdgeMemoryKind::Reram => Box::new(ReramChip::try_new(self.config.reram_config())?),
-            EdgeMemoryKind::Dram => Box::new(DramChip::try_new(self.config.dram_config())?),
-        };
-        let vertex_mem: Box<dyn MemoryDevice> = match self.config.offchip_vertex {
-            VertexMemoryKind::Dram => Box::new(DramChip::try_new(self.config.dram_config())?),
-            VertexMemoryKind::Reram => Box::new(ReramChip::try_new(self.config.reram_config())?),
-        };
+        let edge_mem = self.hierarchy.edge().device();
+        let vertex_mem = self.hierarchy.global_vertex().device();
         let edge_bits = grid.edge_storage_bits();
         let vertex_bits = grid.vertex_storage_bits(u64::from(program.value_bits()));
         let edge_accesses = edge_bits.div_ceil(u64::from(edge_mem.output_bits())).max(1);
@@ -388,7 +366,12 @@ impl Engine {
     }
 
     /// Computes the full energy/time report for `iterations` identical
-    /// passes over the grid.
+    /// passes over the grid, by orchestrating the phase-level passes in
+    /// [`crate::accounting`] over the session's [`HierarchyInstance`].
+    ///
+    /// Every iteration makes exactly the same accesses (§7.1), so the
+    /// passes run once and the ledgers scale by the iteration count the
+    /// functional run produced.
     fn account<P: EdgeProgram>(
         &self,
         program: &P,
@@ -396,302 +379,85 @@ impl Engine {
         iterations: u32,
         _changed: &[bool],
         plan: &BlockPlan,
-    ) -> Result<RunReport, CoreError> {
-        let cfg = &self.config;
-        let n = cfg.num_pus;
-        let p = grid.num_intervals();
-        let s = p / n;
-        let nv = u64::from(grid.num_vertices());
-        let ne = grid.num_edges();
-        let traversal_factor = if program.undirected() { 2 } else { 1 };
-        let value_bits = u64::from(program.value_bits());
+    ) -> RunReport {
+        let hierarchy = &self.hierarchy;
+        let w = Workload::for_run(program, grid, plan, self.config.num_pus);
+        let mut ledgers = hierarchy.ledgers();
 
-        // ---- devices ----------------------------------------------------
-        let edge_mem = match cfg.edge_memory {
-            EdgeMemoryKind::Reram => Channel::Reram(ReramChip::try_new(cfg.reram_config())?),
-            EdgeMemoryKind::Dram => Channel::Dram(DramChip::try_new(cfg.dram_config())?),
-        };
-        let vertex_mem = match cfg.offchip_vertex {
-            VertexMemoryKind::Dram => Channel::Dram(DramChip::try_new(cfg.dram_config())?),
-            VertexMemoryKind::Reram => Channel::Reram(ReramChip::try_new(cfg.reram_config())?),
-        };
-        let sram = match cfg.sram_config() {
-            Some(sc) => Some(SramArray::try_new(sc)?),
-            None => None,
-        };
-        let router = cfg.data_sharing.then(|| Router::new(n));
-
-        let mut breakdown = EnergyBreakdown::default();
-        let mut phases = PhaseTimes::default();
-
-        // ---- per-iteration edge stream ----------------------------------
-        let edge_bits = grid.edge_storage_bits();
-        let edev = edge_mem.device();
-        let edge_accesses = edge_bits.div_ceil(u64::from(edev.output_bits())).max(1);
-        let edge_read_energy = edev.read_energy(edge_bits);
-        let edge_stream_time = edev.sequential_read_time(edge_bits);
-
-        // ---- per-iteration vertex interval traffic -----------------------
-        // With data sharing (Algorithm 2 + router): destination intervals
-        // load once and write back once per iteration (Eq. 7); source
-        // intervals load once per super block (Eq. 8 ⇒ Nv·P/N vertices).
-        //
-        // Without sharing (Fig. 14's baseline): a processing unit cannot
-        // read another PU's source memory, so every step reloads its source
-        // interval from off-chip — Nv·P source vertices per iteration
-        // instead of Nv·P/N. Destination intervals stay resident either way.
-        let (dst_load_vertices, dst_store_vertices, src_load_vertices) = if cfg.data_sharing {
-            (nv, nv, nv * u64::from(s))
-        } else {
-            (nv, nv, nv * u64::from(p))
-        };
-        let dst_load_bits = dst_load_vertices * value_bits;
-        let src_load_bits = src_load_vertices * value_bits;
-        let vdev = vertex_mem.device();
-        let interval_loads = if cfg.data_sharing {
-            u64::from(p) + u64::from(s * s) * u64::from(n)
-        } else {
-            u64::from(p) + u64::from(s * s) * u64::from(n) * u64::from(n)
-        };
-
-        // ---- accounting helpers ------------------------------------------
-        let words_per_value = value_bits.div_ceil(32).max(1);
-
-        let (loading_time, updating_time, processing_time, overhead_time);
-
-        if let Some(sram) = &sram {
-            // Off-chip loads stream sequentially; on-chip fills proceed in
-            // parallel across PU memories, so the channel is the bottleneck.
-            let load_bits = dst_load_bits + src_load_bits;
-            // Chips on the vertex channel stream in parallel (ganged like a
-            // DIMM rank), multiplying sequential bandwidth. Interval-load
-            // request latencies pipeline behind the stream: the controller
-            // keeps many requests outstanding, so latency only shows when it
-            // exceeds the streaming time.
-            let stream = vdev.sequential_read_time(load_bits / u64::from(VERTEX_CHANNEL_CHIPS));
-            let latency = vdev.read_latency() * (interval_loads as f64 / OUTSTANDING_REQUESTS);
-            let lt_channel = stream.max(latency);
-            let lt_sram = sram.bulk_transfer_time(load_bits) / f64::from(n);
-            loading_time = lt_channel.max(lt_sram);
-            breakdown.offchip_vertex.record_read(
-                load_bits,
-                vdev.read_energy(load_bits),
-                lt_channel,
-            );
-            breakdown.onchip_vertex.record_write(
-                load_bits,
-                sram.bulk_write_energy(load_bits),
-                Time::ZERO,
-            );
-
-            // Write-back of destination intervals (Eq. 7: Nv per iteration
-            // with sharing; Nv·S without).
-            let store_bits = dst_store_vertices * value_bits;
-            // Write-back streams at the device's sequential-write rate:
-            // burst-pipelined on DRAM, program-pulse-limited on ReRAM — the
-            // §3.2 reason HyVE keeps vertices in DRAM.
-            let ut_channel = vdev.write_latency() * f64::from(p)
-                + vdev.sequential_write_period()
-                    * (store_bits.div_ceil(u64::from(vdev.output_bits() * VERTEX_CHANNEL_CHIPS)))
-                        as f64;
-            updating_time = ut_channel;
-            breakdown.offchip_vertex.record_write(
-                store_bits,
-                vdev.write_energy(store_bits),
-                ut_channel,
-            );
-            breakdown.onchip_vertex.record_read(
-                store_bits,
-                sram.bulk_read_energy(store_bits),
-                Time::ZERO,
-            );
-
-            // Per-edge processing (Eq. 1 pipelining): stage period is the
-            // max of edge supply, source read, destination read+write, PU.
-            let edges_per_access = (u64::from(edev.output_bits()) / hyve_graph::Edge::BITS).max(1);
-            let edge_supply = edev.burst_period() * (f64::from(n) / edges_per_access as f64);
-            let src_stage = sram.word_read_latency() * words_per_value as f64;
-            let dst_stage =
-                (sram.word_read_latency() + sram.word_write_latency()) * words_per_value as f64;
-            let pu_stage = self.pu.pipelined_period();
-            let per_edge =
-                edge_supply.max(src_stage).max(dst_stage).max(pu_stage) * traversal_factor as f64;
-
-            // Steps synchronise: each step costs the *largest* block in
-            // it. The per-step maxima are memoized in the block plan, so
-            // repeated runs over the same grid skip the grid re-scan.
-            processing_time = per_edge * plan.sync_edges() as f64;
-
-            // Per-edge on-chip + PU energy.
-            let traversals = ne * traversal_factor;
-            let sram_read = sram.read_energy(32) * words_per_value as f64;
-            let sram_write = sram.write_energy(32) * words_per_value as f64;
-            let per_edge_onchip = sram_read * 2.0 + sram_write;
-            breakdown.onchip_vertex.record_read(
-                traversals * value_bits * 2,
-                per_edge_onchip * traversals as f64,
-                Time::ZERO,
-            );
-            breakdown.logic.record_read(
-                0,
-                self.pu.edge_energy(program.arithmetic()) * traversals as f64,
-                Time::ZERO,
-            );
-
-            // Accumulate programs run an apply pass over resident vertices:
-            // read accumulator + previous value, write result, one ALU op.
-            if program.mode() == ExecutionMode::Accumulate {
-                let apply_ops = nv;
-                breakdown.onchip_vertex.record_read(
-                    apply_ops * value_bits * 2,
-                    (sram_read * 2.0 + sram_write) * apply_ops as f64,
-                    Time::ZERO,
-                );
-                breakdown.logic.record_read(
-                    0,
-                    self.pu.edge_energy(true) * apply_ops as f64,
-                    Time::ZERO,
-                );
-            }
-
-            // Router: reroute per step; hop energy on every shared source read.
-            if let Some(router) = &router {
-                let steps = u64::from(s * s) * u64::from(n);
-                let hop = router.hop_energy_per_word() * (traversals * words_per_value) as f64
-                    + router.reroute_energy() * steps as f64;
-                breakdown.logic.record_read(0, hop, Time::ZERO);
-                overhead_time = router.reroute_latency() * steps as f64;
-            } else {
-                overhead_time = Time::ZERO;
-            }
-        } else {
-            // No on-chip vertex memory: every vertex touch is a random
-            // access straight at the off-chip device.
-            loading_time = Time::ZERO;
-            updating_time = Time::ZERO;
-            overhead_time = Time::ZERO;
-            let traversals = ne * traversal_factor;
-            let rd = vdev.random_read_energy(value_bits);
-            let wr = vdev.random_write_energy(value_bits);
-            breakdown.offchip_vertex.record_read(
-                traversals * value_bits * 2,
-                rd * 2.0 * traversals as f64,
-                Time::ZERO,
-            );
-            breakdown.offchip_vertex.record_write(
-                traversals * value_bits,
-                wr * traversals as f64,
-                Time::ZERO,
-            );
-            breakdown.logic.record_read(
-                0,
-                self.pu.edge_energy(program.arithmetic()) * traversals as f64,
-                Time::ZERO,
-            );
-
-            // Three random vertex accesses per edge, partially hidden by
-            // bank-level parallelism on the shared vertex channel.
-            let per_edge_latency =
-                (vdev.read_latency() * 2.0 + vdev.write_latency()) / BANK_PARALLELISM;
-            let per_edge =
-                per_edge_latency.max(self.pu.pipelined_period()) * traversal_factor as f64;
-            processing_time = per_edge * ne as f64;
-        }
-
-        // Edge-memory dynamic accounting (same for both paths).
-        breakdown
-            .edge_memory
-            .record_read(edge_bits, edge_read_energy, edge_stream_time);
-        let _ = edge_accesses;
+        let edge = accounting::edge_stream(hierarchy.edge(), &w);
+        let (loading_time, updating_time, processing_time, overhead_time) =
+            match hierarchy.local_vertex() {
+                Some(local) => {
+                    let traffic = accounting::interval_traffic(
+                        hierarchy.global_vertex(),
+                        local,
+                        hierarchy.spec().data_sharing,
+                        &w,
+                        &mut ledgers,
+                    );
+                    let processing = accounting::onchip_processing(
+                        hierarchy.edge(),
+                        local,
+                        &self.pu,
+                        &w,
+                        &mut ledgers,
+                    );
+                    let overhead = match hierarchy.router() {
+                        Some(router) => accounting::router_overhead(router, &w, &mut ledgers),
+                        None => Time::ZERO,
+                    };
+                    (traffic.loading, traffic.updating, processing, overhead)
+                }
+                None => {
+                    // No on-chip tier: every vertex touch is a random access
+                    // straight at the off-chip device.
+                    let processing = accounting::random_access(
+                        hierarchy.global_vertex(),
+                        &self.pu,
+                        &w,
+                        &mut ledgers,
+                    );
+                    (Time::ZERO, Time::ZERO, processing, Time::ZERO)
+                }
+            };
+        edge.commit(&w, &mut ledgers);
 
         // ---- iteration time & scaling ------------------------------------
         // Loading is double-buffered against processing: the controller
         // prefetches the next intervals while PUs process the current ones,
         // so only the non-overlapped remainder extends the iteration.
-        let busy = processing_time.max(edge_stream_time);
+        let busy = processing_time.max(edge.stream_time);
         let exposed_loading = (loading_time - busy).max(Time::ZERO);
         let iteration_time = exposed_loading + busy + updating_time + overhead_time;
         let iters = f64::from(iterations);
-        phases.loading = exposed_loading * iters;
-        phases.processing = busy * iters;
-        phases.updating = updating_time * iters;
-        phases.overhead = overhead_time * iters;
-
-        // Scale dynamic energies by iteration count.
-        for stats in [
-            &mut breakdown.edge_memory,
-            &mut breakdown.offchip_vertex,
-            &mut breakdown.onchip_vertex,
-            &mut breakdown.logic,
-        ] {
-            stats.reads = (stats.reads as f64 * iters) as u64;
-            stats.writes = (stats.writes as f64 * iters) as u64;
-            stats.bits_read = (stats.bits_read as f64 * iters) as u64;
-            stats.bits_written = (stats.bits_written as f64 * iters) as u64;
-            stats.dynamic_energy *= iters;
-            stats.busy_time *= iters;
-        }
+        let phases = PhaseTimes {
+            loading: exposed_loading * iters,
+            processing: busy * iters,
+            updating: updating_time * iters,
+            overhead: overhead_time * iters,
+        };
+        accounting::scale_by_iterations(&mut ledgers, iters);
 
         let total_time = iteration_time * iters;
-
-        // ---- background energy -------------------------------------------
-        // Edge channel: provisioned chips leak unless power gating is on.
-        let edge_bg = match (&edge_mem, cfg.power_gating) {
-            (Channel::Reram(chip), true) => {
-                let gating = BankPowerGating::new(
-                    PowerGatingConfig::default(),
-                    chip.banks() * EDGE_CHANNEL_CHIPS,
-                    chip.bank_leakage(),
-                );
-                // Sequential layout (§3.4): a scan wakes banks in address
-                // order, one transition per bank the edge data spans.
-                let map = crate::controller::AddressMap::new(
-                    EDGE_CHANNEL_CHIPS,
-                    chip.banks(),
-                    chip.capacity_bits() / u64::from(chip.banks()) / 8,
-                );
-                let transitions_per_iter = map.banks_spanned(edge_bits.div_ceil(8));
-                gating.gated_energy(
-                    total_time,
-                    transitions_per_iter * u64::from(iterations),
-                    1.0,
-                )
-            }
-            (channel, _) => {
-                channel.device().background_power() * f64::from(EDGE_CHANNEL_CHIPS) * total_time
-            }
-        };
-        breakdown.edge_memory.record_background(edge_bg);
-
-        // Vertex channel always powered (random/bursty traffic, §4.1).
-        breakdown.offchip_vertex.record_background(
-            vertex_mem.device().background_power() * f64::from(VERTEX_CHANNEL_CHIPS) * total_time,
-        );
-        if let Some(sram) = &sram {
-            breakdown
-                .onchip_vertex
-                .record_background(sram.background_power() * total_time);
-        }
-        let logic_power = self.pu.leakage() * f64::from(n)
-            + router.as_ref().map_or(Power::ZERO, Router::leakage)
-            + CONTROLLER_POWER;
-        breakdown.logic.record_background(logic_power * total_time);
-
-        Ok(RunReport {
-            algorithm: program.name(),
-            config: cfg.name,
+        accounting::background(
+            hierarchy,
+            &self.pu,
+            total_time,
             iterations,
-            edges_processed: ne * traversal_factor * u64::from(iterations),
-            intervals: p,
-            phases,
-            breakdown,
-        })
-    }
-}
+            &w,
+            &mut ledgers,
+        );
 
-/// Sanity check: background energies must be non-negative.
-fn _assert_energy_valid(e: Energy) {
-    debug_assert!(e.is_valid());
+        RunReport {
+            algorithm: program.name(),
+            config: self.config.name,
+            iterations,
+            edges_processed: w.ne * w.traversal_factor * u64::from(iterations),
+            intervals: w.p,
+            phases,
+            breakdown: ledgers.into_breakdown(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -704,10 +470,15 @@ mod tests {
         DatasetProfile::youtube_scaled().generate(11)
     }
 
+    /// Test shorthand: sessions own engine construction in the public API.
+    fn engine_for(cfg: SystemConfig) -> Engine {
+        Engine::try_new(cfg).unwrap()
+    }
+
     #[test]
     fn pagerank_matches_reference() {
         let g = small_graph();
-        let engine = Engine::new(SystemConfig::hyve_opt());
+        let engine = engine_for(SystemConfig::hyve_opt());
         let (_, values) = engine
             .run_on_edge_list_with_values(&PageRank::new(5), &g)
             .unwrap();
@@ -721,7 +492,7 @@ mod tests {
     #[test]
     fn bfs_matches_reference() {
         let g = small_graph();
-        let engine = Engine::new(SystemConfig::hyve());
+        let engine = engine_for(SystemConfig::hyve());
         let src = VertexId::new(0);
         let (_, values) = engine
             .run_on_edge_list_with_values(&Bfs::new(src), &g)
@@ -733,7 +504,7 @@ mod tests {
     #[test]
     fn cc_matches_reference() {
         let g = small_graph();
-        let engine = Engine::new(SystemConfig::hyve_opt());
+        let engine = engine_for(SystemConfig::hyve_opt());
         let (_, values) = engine
             .run_on_edge_list_with_values(&ConnectedComponents::new(), &g)
             .unwrap();
@@ -743,7 +514,7 @@ mod tests {
     #[test]
     fn sssp_matches_reference() {
         let g = small_graph();
-        let engine = Engine::new(SystemConfig::hyve_opt());
+        let engine = engine_for(SystemConfig::hyve_opt());
         let src = VertexId::new(1);
         let (_, values) = engine
             .run_on_edge_list_with_values(&Sssp::new(src), &g)
@@ -762,7 +533,7 @@ mod tests {
     #[test]
     fn spmv_matches_reference() {
         let g = small_graph();
-        let engine = Engine::new(SystemConfig::acc_sram_dram());
+        let engine = engine_for(SystemConfig::acc_sram_dram());
         let spmv = SpMv::new();
         let (_, values) = engine.run_on_edge_list_with_values(&spmv, &g).unwrap();
         let x: Vec<f32> = (0..g.num_vertices())
@@ -784,7 +555,7 @@ mod tests {
             SystemConfig::hyve(),
             SystemConfig::hyve_opt(),
         ] {
-            let engine = Engine::new(cfg);
+            let engine = engine_for(cfg);
             let report = engine.run_on_edge_list(&PageRank::new(3), &g).unwrap();
             assert!(report.energy().as_pj() > 0.0, "{}", report.config);
             assert!(report.elapsed().as_ns() > 0.0);
@@ -797,7 +568,7 @@ mod tests {
         // The headline Fig. 16 ordering.
         let g = small_graph();
         let eff = |cfg: SystemConfig| {
-            Engine::new(cfg)
+            engine_for(cfg)
                 .run_on_edge_list(&PageRank::new(5), &g)
                 .unwrap()
                 .mteps_per_watt()
@@ -814,10 +585,10 @@ mod tests {
     #[test]
     fn data_sharing_reduces_offchip_reads() {
         let g = small_graph();
-        let base = Engine::new(SystemConfig::hyve().with_data_sharing(false))
+        let base = engine_for(SystemConfig::hyve().with_data_sharing(false))
             .run_on_edge_list(&PageRank::new(3), &g)
             .unwrap();
-        let shared = Engine::new(SystemConfig::hyve())
+        let shared = engine_for(SystemConfig::hyve())
             .run_on_edge_list(&PageRank::new(3), &g)
             .unwrap();
         assert!(
@@ -828,10 +599,10 @@ mod tests {
     #[test]
     fn power_gating_cuts_edge_background() {
         let g = small_graph();
-        let base = Engine::new(SystemConfig::hyve())
+        let base = engine_for(SystemConfig::hyve())
             .run_on_edge_list(&PageRank::new(3), &g)
             .unwrap();
-        let gated = Engine::new(SystemConfig::hyve().with_power_gating(true))
+        let gated = engine_for(SystemConfig::hyve().with_power_gating(true))
             .run_on_edge_list(&PageRank::new(3), &g)
             .unwrap();
         assert!(
@@ -845,16 +616,16 @@ mod tests {
         // Use scale 1 so the arithmetic is direct: 2 MB SRAM, PR needs
         // 16 bytes/vertex resident (64-bit value × 2 states);
         // 2·8·nv·16 ≤ 2 MB ⇒ nv ≤ 8192 for P = 8.
-        let engine = Engine::new(SystemConfig::hyve_opt().with_dataset_scale(1));
+        let engine = engine_for(SystemConfig::hyve_opt().with_dataset_scale(1));
         let pr = PageRank::new(1);
         assert_eq!(engine.plan_intervals(&pr, 8_000), 8);
         let p = engine.plan_intervals(&pr, 100_000);
         assert!(p > 8 && p.is_multiple_of(8), "got {p}");
         // The dataset scale shrinks the effective SRAM, raising P.
-        let scaled = Engine::new(SystemConfig::hyve_opt().with_dataset_scale(64));
+        let scaled = engine_for(SystemConfig::hyve_opt().with_dataset_scale(64));
         assert!(scaled.plan_intervals(&pr, 8_000) > 8);
         // No SRAM: P = N.
-        let raw = Engine::new(SystemConfig::acc_dram());
+        let raw = engine_for(SystemConfig::acc_dram());
         assert_eq!(raw.plan_intervals(&pr, 100_000), 8);
     }
 
@@ -862,7 +633,7 @@ mod tests {
     fn run_rejects_mismatched_grid() {
         let g = small_graph();
         let grid = GridGraph::partition(&g, 3).unwrap(); // not divisible by 8
-        let engine = Engine::new(SystemConfig::hyve());
+        let engine = engine_for(SystemConfig::hyve());
         assert!(matches!(
             engine.run(&PageRank::new(1), &grid),
             Err(CoreError::Unschedulable { .. })
@@ -872,7 +643,7 @@ mod tests {
     #[test]
     fn undirected_program_doubles_traversals() {
         let g = EdgeList::from_edges(16, (0..15).map(|i| Edge::new(i, i + 1))).unwrap();
-        let engine = Engine::new(SystemConfig::hyve().with_num_pus(2));
+        let engine = engine_for(SystemConfig::hyve().with_num_pus(2));
         let cc = engine
             .run_on_edge_list(&ConnectedComponents::new().with_max_iterations(1), &g)
             .unwrap();
@@ -882,7 +653,7 @@ mod tests {
     #[test]
     fn preprocessing_is_one_shot_and_write_dominated() {
         let g = small_graph();
-        let engine = Engine::new(SystemConfig::hyve());
+        let engine = engine_for(SystemConfig::hyve());
         let grid = GridGraph::partition(&g, 8).unwrap();
         let pre = engine
             .preprocessing_report(&PageRank::new(10), &grid)
@@ -893,7 +664,7 @@ mod tests {
         // ReRAM's slow writes: preprocessing on HyVE takes longer than on
         // the all-DRAM hierarchy, but costs less energy per bit is not
         // required — only the latency asymmetry is structural.
-        let dram_pre = Engine::new(SystemConfig::acc_dram())
+        let dram_pre = engine_for(SystemConfig::acc_dram())
             .preprocessing_report(&PageRank::new(10), &grid)
             .unwrap();
         assert!(
@@ -907,7 +678,7 @@ mod tests {
     #[test]
     fn report_has_consistent_breakdown() {
         let g = small_graph();
-        let report = Engine::new(SystemConfig::hyve_opt())
+        let report = engine_for(SystemConfig::hyve_opt())
             .run_on_edge_list(&PageRank::new(2), &g)
             .unwrap();
         let b = &report.breakdown;
@@ -917,5 +688,26 @@ mod tests {
             + b.logic.total_energy();
         assert!((sum.as_pj() - report.energy().as_pj()).abs() < 1.0);
         assert!(b.memory_fraction() > 0.3 && b.memory_fraction() < 1.0);
+    }
+
+    #[test]
+    fn devices_constructed_once_per_session_not_per_run() {
+        let g = small_graph();
+        let before = crate::hierarchy::device_constructions();
+        let engine = engine_for(SystemConfig::hyve_opt());
+        let built = crate::hierarchy::device_constructions();
+        // hyve_opt has three channels: edge ReRAM, global DRAM, local SRAM.
+        assert_eq!(built - before, 3);
+
+        // Repeated runs and preprocessing reports reuse the same instance.
+        engine.run_on_edge_list(&PageRank::new(2), &g).unwrap();
+        engine
+            .run_on_edge_list(&Bfs::new(VertexId::new(0)), &g)
+            .unwrap();
+        let grid = GridGraph::partition(&g, 8).unwrap();
+        engine
+            .preprocessing_report(&PageRank::new(1), &grid)
+            .unwrap();
+        assert_eq!(crate::hierarchy::device_constructions(), built);
     }
 }

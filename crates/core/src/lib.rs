@@ -6,12 +6,17 @@
 //! * [`SystemConfig`] — the memory-hierarchy configuration space the
 //!   evaluation sweeps (acc+DRAM, acc+ReRAM, acc+SRAM+DRAM, HyVE,
 //!   HyVE-opt; Fig. 16),
+//! * [`HierarchySpec`] / [`HierarchyInstance`] — the declarative memory
+//!   hierarchy a configuration lowers into, and its fully-constructed
+//!   channel set (device models built **once** per session, per-channel
+//!   [`Ledgers`] accumulated by the accounting passes),
 //! * [`SimulationSession`] — the validated entry point: a builder that
-//!   checks the configuration once and selects an [`ExecutionStrategy`]
-//!   (sequential, or a deterministic thread fan-out over PUs and sweeps),
-//! * [`Engine`] — a deterministic phase-level simulator of Algorithm 2's
-//!   super-block scheduling (loading / assigning / rerouting / processing /
-//!   synchronizing / updating), with per-edge pipelining per Eq. (1),
+//!   checks the configuration once, constructs the hierarchy, and selects
+//!   an [`ExecutionStrategy`] (sequential, or a deterministic thread
+//!   fan-out over PUs and sweeps), driving a crate-private engine that
+//!   simulates Algorithm 2's super-block scheduling (loading / assigning /
+//!   rerouting / processing / synchronizing / updating), with per-edge
+//!   pipelining per Eq. (1),
 //! * [`Router`] — the N×N pipelined router that implements inter-PU data
 //!   sharing (§4.2, Fig. 7),
 //! * bank-level power gating of the nonvolatile edge memory (§4.1),
@@ -34,11 +39,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod accounting;
 pub mod config;
 pub mod controller;
 pub mod engine;
 pub mod error;
 pub mod exec;
+pub mod hierarchy;
 pub mod pu;
 pub mod router;
 pub mod schedule;
@@ -48,9 +55,12 @@ pub mod workflow;
 
 pub use config::{EdgeMemoryKind, SystemConfig, VertexMemoryKind};
 pub use controller::{AddressMap, EdgeAddress, EdgeBuffer, StreamAnalysis, StreamBound};
-pub use engine::{Engine, PreprocessingReport};
+pub use engine::PreprocessingReport;
 pub use error::CoreError;
 pub use exec::ExecutionStrategy;
+pub use hierarchy::{
+    Channel, ChannelRole, ChannelSpec, DeviceSpec, HierarchyInstance, HierarchySpec, Ledgers,
+};
 pub use pu::ProcessingUnit;
 pub use router::Router;
 pub use schedule::{Assignment, SuperBlockSchedule};

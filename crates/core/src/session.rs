@@ -1,10 +1,12 @@
 //! The public entry point to the simulator: a validated, strategy-aware
 //! session.
 //!
-//! [`SimulationSession`] replaces direct [`Engine`] construction. The
-//! builder validates the [`SystemConfig`] **once, at build time** — every
-//! later call can assume a well-formed configuration and no construction
-//! path panics — and selects an [`ExecutionStrategy`]:
+//! [`SimulationSession`] replaces direct engine construction. The builder
+//! validates the [`SystemConfig`] **once, at build time**, lowers it into a
+//! [`HierarchySpec`](crate::HierarchySpec) and constructs every device
+//! model of the resulting [`HierarchyInstance`] exactly once — every later
+//! run borrows the same instance and no construction path panics — and
+//! selects an [`ExecutionStrategy`]:
 //!
 //! ```
 //! use hyve_core::{ExecutionStrategy, SimulationSession, SystemConfig};
@@ -31,6 +33,7 @@ use crate::config::SystemConfig;
 use crate::engine::{Engine, PreprocessingReport};
 use crate::error::CoreError;
 use crate::exec::{fan_out, ExecutionStrategy};
+use crate::hierarchy::HierarchyInstance;
 use crate::stats::RunReport;
 use hyve_algorithms::EdgeProgram;
 use hyve_graph::{EdgeList, GridGraph};
@@ -71,14 +74,14 @@ impl SessionBuilder {
     /// threads. This is the single validation point: sessions never panic
     /// on construction input.
     pub fn build(self) -> Result<SimulationSession, CoreError> {
-        self.config.validate()?;
+        let engine = Engine::try_new(self.config)?;
         if let ExecutionStrategy::Parallel { threads: 0 } = self.strategy {
             return Err(CoreError::InvalidConfig {
                 message: "parallel execution needs at least one thread".into(),
             });
         }
         Ok(SimulationSession {
-            engine: Engine::new(self.config),
+            engine,
             strategy: self.strategy,
         })
     }
@@ -113,8 +116,16 @@ impl SimulationSession {
         self.strategy
     }
 
-    /// Picks the interval count `P` for a graph (see
-    /// [`Engine::plan_intervals`]).
+    /// The memory hierarchy the configuration lowered into: every device
+    /// model was constructed once at [`build`](SessionBuilder::build) time
+    /// and is reused by every run of this session.
+    pub fn hierarchy(&self) -> &HierarchyInstance {
+        self.engine.hierarchy()
+    }
+
+    /// Picks the interval count `P` for a graph: the smallest multiple of
+    /// the PU count such that `2·N` intervals fit in on-chip memory
+    /// (configurations without on-chip vertex memory use `P = N`).
     pub fn plan_intervals<P: EdgeProgram>(&self, program: &P, num_vertices: u32) -> u32 {
         self.engine.plan_intervals(program, num_vertices)
     }
@@ -210,8 +221,7 @@ impl SimulationSession {
     ) -> Result<Vec<RunReport>, CoreError> {
         let results: Vec<Result<RunReport, CoreError>> =
             fan_out(self.strategy, configs.len(), |i| {
-                configs[i].validate()?;
-                let engine = Engine::new(configs[i].clone());
+                let engine = Engine::try_new(configs[i].clone())?;
                 let p = engine.plan_intervals(program, graph.num_vertices());
                 let grid = GridGraph::partition(graph, p)?;
                 engine

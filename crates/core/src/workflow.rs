@@ -50,19 +50,25 @@ impl WorkingFlow {
     ///
     /// Propagates configuration and partitioning errors.
     pub fn new(config: crate::config::SystemConfig, graph: &EdgeList) -> Result<Self, CoreError> {
-        config.validate()?;
+        let engine = Engine::try_new(config)?;
         let p = Self::ONLINE_INTERVALS.min(graph.num_vertices().max(1));
         let grid = GridGraph::partition(graph, p)?;
         Ok(WorkingFlow {
-            engine: Engine::new(config),
+            engine,
             dynamic: DynamicGrid::new(grid, 0.30),
             mutations_since_analysis: 0,
         })
     }
 
-    /// The underlying engine.
-    pub fn engine(&self) -> &Engine {
-        &self.engine
+    /// The flow's configuration.
+    pub fn config(&self) -> &crate::config::SystemConfig {
+        self.engine.config()
+    }
+
+    /// The memory hierarchy the configuration lowered into (constructed
+    /// once, reused by every [`analyze`](Self::analyze) call).
+    pub fn hierarchy(&self) -> &crate::hierarchy::HierarchyInstance {
+        self.engine.hierarchy()
     }
 
     /// The online dynamic structure.

@@ -105,6 +105,40 @@ pub trait MemoryDevice {
     fn random_write_energy(&self, bits: u64) -> Energy {
         self.write_energy(bits) * self.random_access_penalty()
     }
+
+    /// Latency of reading one *word* from an already-selected location —
+    /// the per-edge pipeline stage cost (Eq. 1). Word-addressed on-chip
+    /// tiers (SRAM, register files) answer with their word access time;
+    /// row/burst devices default to the full access latency.
+    fn word_read_latency(&self) -> Time {
+        self.read_latency()
+    }
+
+    /// Latency of writing one word (see
+    /// [`word_read_latency`](Self::word_read_latency)).
+    fn word_write_latency(&self) -> Time {
+        self.write_latency()
+    }
+
+    /// Energy of a bulk (DMA-style) transfer of `bits` bits *into* the
+    /// device. Row-organised on-chip tiers override this to amortise
+    /// word-line/decoder energy over full rows; the default charges the
+    /// ordinary sequential write energy.
+    fn bulk_write_energy(&self, bits: u64) -> Energy {
+        self.write_energy(bits)
+    }
+
+    /// Energy of a bulk transfer of `bits` bits *out of* the device (see
+    /// [`bulk_write_energy`](Self::bulk_write_energy)).
+    fn bulk_read_energy(&self, bits: u64) -> Energy {
+        self.read_energy(bits)
+    }
+
+    /// Time to stream `bits` bits in or out at the device's bulk-transfer
+    /// granularity. Defaults to the sequential read stream time.
+    fn bulk_transfer_time(&self, bits: u64) -> Time {
+        self.sequential_read_time(bits)
+    }
 }
 
 /// Blanket impl so `&D` can be passed wherever a device is expected.
@@ -141,6 +175,21 @@ impl<D: MemoryDevice + ?Sized> MemoryDevice for &D {
     }
     fn random_access_penalty(&self) -> f64 {
         (**self).random_access_penalty()
+    }
+    fn word_read_latency(&self) -> Time {
+        (**self).word_read_latency()
+    }
+    fn word_write_latency(&self) -> Time {
+        (**self).word_write_latency()
+    }
+    fn bulk_write_energy(&self, bits: u64) -> Energy {
+        (**self).bulk_write_energy(bits)
+    }
+    fn bulk_read_energy(&self, bits: u64) -> Energy {
+        (**self).bulk_read_energy(bits)
+    }
+    fn bulk_transfer_time(&self, bits: u64) -> Time {
+        (**self).bulk_transfer_time(bits)
     }
 }
 
@@ -203,6 +252,20 @@ mod tests {
         assert_eq!(t, Time::from_ns(2.0));
         // Zero bits still costs one access.
         assert_eq!(d.sequential_read_time(0), Time::from_ns(1.0));
+    }
+
+    #[test]
+    fn bulk_and_word_defaults_fall_back_to_access_costs() {
+        let d = Fake;
+        assert_eq!(d.word_read_latency(), d.read_latency());
+        assert_eq!(d.word_write_latency(), d.write_latency());
+        assert_eq!(d.bulk_read_energy(128), d.read_energy(128));
+        assert_eq!(d.bulk_write_energy(128), d.write_energy(128));
+        assert_eq!(d.bulk_transfer_time(1024), d.sequential_read_time(1024));
+        // The blanket `&D` impl forwards the extended surface too.
+        let r: &dyn MemoryDevice = &d;
+        assert_eq!(r.word_read_latency(), d.read_latency());
+        assert_eq!(r.bulk_transfer_time(1024), d.sequential_read_time(1024));
     }
 
     #[test]

@@ -19,8 +19,9 @@ pub use hyve_algorithms::{
     Bfs, ConnectedComponents, EdgeProgram, ExecutionMode, IterationBound, PageRank, SpMv, Sssp,
 };
 pub use hyve_core::{
-    CoreError, EdgeMemoryKind, EnergyBreakdown, ExecutionStrategy, PhaseTimes, RunReport,
-    SessionBuilder, SimulationSession, SystemConfig, VertexMemoryKind,
+    CoreError, EdgeMemoryKind, EnergyBreakdown, ExecutionStrategy, HierarchyInstance,
+    HierarchySpec, PhaseTimes, RunReport, SessionBuilder, SimulationSession, SystemConfig,
+    VertexMemoryKind,
 };
 pub use hyve_graph::{DatasetProfile, Edge, EdgeList, GraphError, GridGraph, Rmat, VertexId};
 pub use hyve_memsim::DeviceError;

@@ -1,0 +1,159 @@
+//! Golden-snapshot suite guarding the cost model across refactors.
+//!
+//! Runs a fixed-seed graph through all five memory-hierarchy presets ×
+//! {PR, BFS, SSSP} and compares every field of the resulting [`RunReport`]s
+//! — including the exact bit pattern of every energy/time float — against
+//! baselines captured from the pre-hierarchy-refactor engine and committed
+//! under `tests/golden/`.
+//!
+//! Any intentional cost-model change must re-bless the baselines:
+//!
+//! ```text
+//! HYVE_GOLDEN_BLESS=1 cargo test --test golden_reports
+//! ```
+
+use hyve::prelude::*;
+use hyve_algorithms::EdgeProgram;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Seed shared with the bench harness so the snapshot covers the same graph
+/// the experiments run on.
+const SEED: u64 = 2018;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("run_reports.golden")
+}
+
+fn configs() -> [SystemConfig; 5] {
+    [
+        SystemConfig::acc_dram(),
+        SystemConfig::acc_reram(),
+        SystemConfig::acc_sram_dram(),
+        SystemConfig::hyve(),
+        SystemConfig::hyve_opt(),
+    ]
+}
+
+/// Exact serialization of a float: hex of the IEEE-754 bit pattern, plus a
+/// human-readable echo so diffs in blessed files stay reviewable.
+fn float_cell(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn stats_cells(line: &mut String, s: &hyve_memsim::AccessStats) {
+    write!(
+        line,
+        "|{}|{}|{}|{}|{}|{}|{}",
+        s.reads,
+        s.writes,
+        s.bits_read,
+        s.bits_written,
+        float_cell(s.dynamic_energy.as_pj()),
+        float_cell(s.background_energy.as_pj()),
+        float_cell(s.busy_time.as_ns()),
+    )
+    .expect("write to String cannot fail");
+}
+
+/// One report as a stable, exact, line-oriented record.
+fn serialize(report: &RunReport) -> String {
+    let mut line = format!(
+        "{}|{}|{}|{}|{}",
+        report.config,
+        report.algorithm,
+        report.iterations,
+        report.edges_processed,
+        report.intervals
+    );
+    for t in [
+        report.phases.loading,
+        report.phases.processing,
+        report.phases.updating,
+        report.phases.overhead,
+    ] {
+        write!(line, "|{}", float_cell(t.as_ns())).expect("write to String cannot fail");
+    }
+    for s in [
+        &report.breakdown.edge_memory,
+        &report.breakdown.offchip_vertex,
+        &report.breakdown.onchip_vertex,
+        &report.breakdown.logic,
+    ] {
+        stats_cells(&mut line, s);
+    }
+    line
+}
+
+fn capture() -> Vec<String> {
+    let graph = DatasetProfile::youtube_scaled().generate(SEED);
+    let mut lines = Vec::new();
+    for cfg in configs() {
+        for report in [
+            run(&cfg, &PageRank::new(10), &graph),
+            run(&cfg, &Bfs::new(VertexId::new(0)), &graph),
+            run(&cfg, &Sssp::new(VertexId::new(0)), &graph),
+        ] {
+            lines.push(serialize(&report));
+        }
+    }
+    lines
+}
+
+fn run<P: EdgeProgram>(cfg: &SystemConfig, program: &P, graph: &EdgeList) -> RunReport {
+    SimulationSession::builder(cfg.clone())
+        .build()
+        .expect("preset configuration is valid")
+        .run_on_edge_list(program, graph)
+        .expect("golden run failed")
+}
+
+#[test]
+fn run_reports_match_pre_refactor_baselines() {
+    let lines = capture();
+    let path = golden_path();
+    if std::env::var_os("HYVE_GOLDEN_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create golden dir");
+        std::fs::write(&path, lines.join("\n") + "\n").expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden baselines at {} ({e}); regenerate with \
+             HYVE_GOLDEN_BLESS=1 cargo test --test golden_reports",
+            path.display()
+        )
+    });
+    let expected: Vec<&str> = expected.lines().collect();
+    assert_eq!(
+        expected.len(),
+        lines.len(),
+        "baseline row count changed — re-bless if intentional"
+    );
+    for (got, want) in lines.iter().zip(&expected) {
+        assert_eq!(
+            got.as_str(),
+            *want,
+            "RunReport drifted from the pre-refactor baseline (fields are \
+             config|alg|iters|edges|P|4 phase times|4×7 channel stats, floats \
+             as IEEE-754 bit patterns)"
+        );
+    }
+}
+
+/// The snapshot must exercise every distinct hierarchy shape: both paths of
+/// the engine (with/without an on-chip tier), both edge technologies, and
+/// both optimization toggles.
+#[test]
+fn golden_configs_cover_all_hierarchy_shapes() {
+    let cfgs = configs();
+    assert!(cfgs.iter().any(|c| c.sram_mb.is_none()));
+    assert!(cfgs.iter().any(|c| c.sram_mb.is_some()));
+    assert!(cfgs.iter().any(|c| c.power_gating));
+    assert!(cfgs.iter().any(|c| c.data_sharing));
+    assert!(cfgs.iter().any(|c| !c.data_sharing && !c.power_gating));
+}
