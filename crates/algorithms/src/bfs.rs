@@ -91,6 +91,12 @@ impl EdgeProgram for Bfs {
         current.min(message)
     }
 
+    /// `scatter(UNREACHED) saturates to UNREACHED`, the top of the min
+    /// lattice, so unreached sources never lower any destination.
+    fn scatter_absorbs_identity(&self) -> bool {
+        true
+    }
+
     fn arithmetic(&self) -> bool {
         false
     }
@@ -151,5 +157,18 @@ mod tests {
         assert_eq!(bfs.source(), VertexId::new(3));
         assert_eq!(bfs.bound(), IterationBound::Converge { max: 5 });
         assert_eq!(bfs.name(), "BFS");
+    }
+
+    /// The law behind `scatter_absorbs_identity`: an unreached source's
+    /// message must leave every possible destination value untouched.
+    #[test]
+    fn identity_messages_are_absorbed() {
+        let bfs = Bfs::new(VertexId::new(0));
+        assert!(bfs.scatter_absorbs_identity());
+        let meta = GraphMeta::from_edges(2, &[]);
+        let msg = bfs.scatter(bfs.identity(), &Edge::new(0, 1), &meta);
+        for x in [0, 1, 17, UNREACHED - 1, UNREACHED] {
+            assert_eq!(bfs.merge(x, msg), x);
+        }
     }
 }

@@ -80,6 +80,13 @@ impl EdgeProgram for ConnectedComponents {
         current.min(message)
     }
 
+    /// `scatter(u32::MAX) = u32::MAX`, the top of the min lattice. (Every
+    /// vertex starts at its own label, so this buys CC nothing on the first
+    /// sweep — it is declared for correctness-of-contract, not speed.)
+    fn scatter_absorbs_identity(&self) -> bool {
+        true
+    }
+
     fn arithmetic(&self) -> bool {
         false
     }
@@ -136,5 +143,18 @@ mod tests {
         let run = run_in_memory(&ConnectedComponents::new(), &edges, &meta);
         assert_eq!(&run.values[0..3], &[0, 0, 0]);
         assert_eq!(&run.values[3..6], &[3, 3, 3]);
+    }
+
+    /// The law behind `scatter_absorbs_identity`: an identity-labelled
+    /// source must never lower any destination label.
+    #[test]
+    fn identity_messages_are_absorbed() {
+        let cc = ConnectedComponents::new();
+        assert!(cc.scatter_absorbs_identity());
+        let meta = GraphMeta::from_edges(2, &[]);
+        let msg = cc.scatter(cc.identity(), &Edge::new(0, 1), &meta);
+        for x in [0, 3, u32::MAX - 1, u32::MAX] {
+            assert_eq!(cc.merge(x, msg), x);
+        }
     }
 }

@@ -60,6 +60,29 @@ pub enum ExecutionMode {
     Accumulate,
     /// Messages merge into the live value immediately; convergence is
     /// "no value changed this iteration" (BFS, CC, SSSP).
+    ///
+    /// ## Invariants monotone programs must uphold
+    ///
+    /// Engines optimise monotone execution (dirty-interval skipping,
+    /// re-merging already-absorbed messages) on the strength of these
+    /// properties, and the results are only guaranteed correct — and
+    /// bit-identical across optimisation toggles — when they hold:
+    ///
+    /// * [`EdgeProgram::merge`] is a **semilattice join**: idempotent
+    ///   (`merge(a, a) == a`), commutative and associative — `min` for
+    ///   BFS/CC/SSSP. Idempotence is what makes re-delivering a message a
+    ///   no-op, so an engine may skip work it can prove was already
+    ///   absorbed.
+    /// * [`EdgeProgram::scatter`] is **monotone** in the source value with
+    ///   respect to the join order (an unchanged source re-sends an
+    ///   identical message).
+    /// * Values stay **self-equal** under `PartialEq`. An IEEE NaN violates
+    ///   this (`NaN != NaN`); a convergence check comparing old and new
+    ///   values would then see change forever and spin to the
+    ///   [`IterationBound`] cap. Engines guard against it — a value that is
+    ///   not equal to itself never registers as changed — so a NaN-emitting
+    ///   program terminates instead of spinning, but its output is
+    ///   unspecified beyond that.
     Monotone,
 }
 
@@ -132,6 +155,23 @@ pub trait EdgeProgram: Sync {
     /// True if edges should also propagate dst → src (undirected semantics;
     /// connected components needs this on a directed edge list).
     fn undirected(&self) -> bool {
+        false
+    }
+
+    /// True when messages scattered from an identity-valued source are
+    /// absorbed by any destination:
+    ///
+    /// `merge(x, scatter(identity(), e, meta)) == x` for every `x` and `e`.
+    ///
+    /// Only consulted for [`ExecutionMode::Monotone`] programs. When it
+    /// holds, an engine may start its first sweep with only the intervals
+    /// whose initial values differ from the identity marked dirty — sources
+    /// still at the identity provably send no effectual messages — which
+    /// turns iteration 1 of a single-source program (BFS, SSSP) into a
+    /// near-empty pass. Results stay bit-identical; opting in falsely
+    /// (e.g. a merge that propagates NaN messages) silently corrupts runs,
+    /// so the default is `false`.
+    fn scatter_absorbs_identity(&self) -> bool {
         false
     }
 

@@ -89,6 +89,12 @@ impl EdgeProgram for Sssp {
         current.min(message)
     }
 
+    /// `∞ + w = ∞` for any finite weight, so unreachable sources never
+    /// relax any destination.
+    fn scatter_absorbs_identity(&self) -> bool {
+        true
+    }
+
     fn apply(&self, _: VertexId, acc: f32, prev: f32, _: &GraphMeta) -> f32 {
         acc.min(prev)
     }
@@ -134,5 +140,18 @@ mod tests {
         let meta = GraphMeta::from_edges(2, &edges);
         let run = run_in_memory(&Sssp::new(VertexId::new(0)), &edges, &meta);
         assert!(run.values[1].is_infinite());
+    }
+
+    /// The law behind `scatter_absorbs_identity`: a relaxation from an
+    /// unreachable source must leave every destination distance untouched.
+    #[test]
+    fn identity_messages_are_absorbed() {
+        let sssp = Sssp::new(VertexId::new(0));
+        assert!(sssp.scatter_absorbs_identity());
+        let meta = GraphMeta::from_edges(2, &[]);
+        let msg = sssp.scatter(sssp.identity(), &Edge::with_weight(0, 1, 2.5), &meta);
+        for x in [0.0, 1.5, 1e30, f32::INFINITY] {
+            assert_eq!(sssp.merge(x, msg).to_bits(), x.to_bits());
+        }
     }
 }

@@ -50,7 +50,7 @@ fn variants() -> Vec<Variant> {
 /// Runs the ablation grid with PageRank.
 pub fn run() -> Vec<Row> {
     let mut rows = Vec::new();
-    for (profile, graph) in &datasets() {
+    for (profile, graph) in datasets() {
         let baseline = report::measure(SystemConfig::hyve_opt(), Algorithm::Pr, profile, graph);
         for (name, transform) in variants() {
             let cfg = transform(SystemConfig::hyve_opt());

@@ -39,7 +39,7 @@ pub struct Row {
 /// degree-distribution property preserved by the R-MAT profiles.
 pub fn run() -> Vec<Row> {
     let mut rows = Vec::new();
-    for (profile, graph) in &datasets() {
+    for (profile, graph) in datasets() {
         let navg = block_sparsity(graph, 8).avg_edges_per_block.max(1.0);
         let nv = profile.original_vertices;
         let neb = (profile.original_edges as f64 / navg) as u64;

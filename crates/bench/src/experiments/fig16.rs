@@ -44,7 +44,7 @@ impl Row {
 /// accelerator processes (iterations × edges).
 pub fn run() -> Vec<Row> {
     let mut rows = Vec::new();
-    for (profile, graph) in &datasets() {
+    for (profile, graph) in datasets() {
         for alg in Algorithm::core_three() {
             let mut eff = [0.0f64; 7];
             let acc_configs = [

@@ -41,7 +41,7 @@ pub fn run() -> Vec<Row> {
         ("opt", SystemConfig::hyve_opt()),
     ];
     for (label, cfg) in configs {
-        for (profile, graph) in &datasets() {
+        for (profile, graph) in datasets() {
             for alg in Algorithm::core_three() {
                 let report = report::measure(cfg.clone(), alg, profile, graph);
                 let total = report.energy().as_pj();

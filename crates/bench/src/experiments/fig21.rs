@@ -26,10 +26,10 @@ pub struct Row {
 pub fn run() -> Vec<Row> {
     let graphr = GraphrEngine::new();
     let mut rows = Vec::new();
-    for (profile, graph) in &datasets() {
+    for (profile, graph) in datasets() {
         let hyve = session(configure(SystemConfig::hyve(), profile));
         for alg in Algorithm::all_five() {
-            let h = alg.run_hyve(&hyve, graph);
+            let h = alg.run_hyve(&hyve, profile, graph);
             let g = alg.run_graphr(&graphr, graph);
             rows.push(Row {
                 algorithm: alg.tag(),

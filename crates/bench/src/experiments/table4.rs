@@ -41,7 +41,7 @@ impl Row {
 /// Runs the full sweep.
 pub fn run() -> Vec<Row> {
     let mut rows = Vec::new();
-    for (profile, graph) in &datasets() {
+    for (profile, graph) in datasets() {
         for alg in Algorithm::core_three() {
             for gating in [false, true] {
                 for sharing in [false, true] {

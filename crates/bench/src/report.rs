@@ -74,7 +74,7 @@ pub fn core_grid(
     mut measure: impl FnMut(Algorithm, &DatasetProfile, &EdgeList) -> f64,
 ) -> Vec<GridRow> {
     let mut rows = Vec::new();
-    for (profile, graph) in &crate::workloads::datasets() {
+    for (profile, graph) in crate::workloads::datasets() {
         for alg in Algorithm::core_three() {
             rows.push(GridRow {
                 algorithm: alg.tag(),
@@ -96,7 +96,7 @@ pub fn measure(
     profile: &DatasetProfile,
     graph: &EdgeList,
 ) -> RunReport {
-    alg.run_hyve(&session(configure(cfg, profile)), graph)
+    alg.run_hyve(&session(configure(cfg, profile)), profile, graph)
 }
 
 /// Prints a [`GridRow`] table with the shared alg/dataset columns.

@@ -98,8 +98,8 @@ fn fig13_slc_wins_everywhere() {
 #[test]
 fn fig20_request_mix_has_paper_proportions() {
     small_mode();
-    let graph = hyve_bench::workloads::datasets().remove(0).1;
-    let mix = e::fig20::request_mix(&graph, 20_000, 7);
+    let graph = &hyve_bench::workloads::datasets()[0].1;
+    let mix = e::fig20::request_mix(graph, 20_000, 7);
     assert_eq!(mix.len(), 20_000);
     let adds = mix
         .iter()

@@ -26,12 +26,12 @@
 use crate::accounting::{self, Workload};
 use crate::config::SystemConfig;
 use crate::error::CoreError;
-use crate::exec::{fan_out, BlockPlan, ExecutionStrategy};
+use crate::exec::{fan_out_mut, BlockPlan, ExecutionStrategy};
 use crate::hierarchy::{HierarchyInstance, HierarchySpec};
 use crate::pu::ProcessingUnit;
-use crate::stats::{PhaseTimes, RunReport};
+use crate::stats::{PhaseTimes, RunReport, RunTrace};
 use hyve_algorithms::{EdgeProgram, ExecutionMode, GraphMeta, IterationBound};
-use hyve_graph::{EdgeList, GridGraph, VertexId};
+use hyve_graph::{EdgeList, FlatGrid, GridGraph, VertexId};
 use hyve_memsim::Time;
 
 /// Cost of the one-shot preprocessing step: writing the partitioned edge
@@ -49,6 +49,33 @@ pub struct PreprocessingReport {
     pub energy: hyve_memsim::Energy,
     /// Total write time (sequential stream).
     pub time: Time,
+}
+
+/// One PU's reusable per-run working memory, threaded through
+/// [`fan_out_mut`] each iteration so the hot loop never allocates.
+struct PuScratch<V> {
+    /// Monotone: the PU's working copy of the snapshot. Accumulate: the
+    /// PU's message accumulator.
+    values: Vec<V>,
+    /// Monotone only: which intervals this PU wrote earlier in the current
+    /// pass (within-pass propagation makes a globally-clean interval
+    /// locally dirty, which must veto skipping).
+    touched: Vec<bool>,
+    /// Whether `values` holds live data for the current iteration. False
+    /// when every block was skipped or empty and the lazy snapshot copy was
+    /// elided; the reduce ignores inactive PUs.
+    active: bool,
+}
+
+/// Whether `new` counts as a change against `old` for convergence and
+/// dirty-interval tracking. A value that is not equal to itself (an IEEE
+/// NaN escaping a user [`EdgeProgram`]) never registers: counting NaN as
+/// "changed" would hold `changed` true forever and spin every converge-bound
+/// run to its iteration cap (see the `Monotone` invariants on
+/// [`ExecutionMode`]).
+#[allow(clippy::eq_op)]
+fn registers_change<V: PartialEq>(old: &V, new: &V) -> bool {
+    new != old && new == new
 }
 
 /// The HyVE simulator core.
@@ -177,41 +204,63 @@ impl Engine {
         program: &P,
         grid: &GridGraph,
     ) -> Result<(RunReport, Vec<P::Value>), CoreError> {
-        self.run_with_values_strategy(program, grid, ExecutionStrategy::Sequential)
+        self.run_traced(program, grid, ExecutionStrategy::Sequential, true)
+            .map(|(report, values, _)| (report, values))
     }
 
-    /// Runs under an explicit [`ExecutionStrategy`]. Any thread count yields
-    /// output bit-identical to the sequential path: per-PU outcomes are pure
-    /// functions of the iteration-start snapshot and reduce in fixed PU
-    /// order (see [`crate::exec`]).
-    pub(crate) fn run_with_values_strategy<P: EdgeProgram>(
+    /// Runs under an explicit [`ExecutionStrategy`], returning the report,
+    /// the final vertex values, and the per-iteration [`RunTrace`]. Any
+    /// thread count yields output bit-identical to the sequential path:
+    /// per-PU outcomes are pure functions of the iteration-start snapshot
+    /// and reduce in fixed PU order (see [`crate::exec`]).
+    ///
+    /// `skip_clean` enables dirty-interval skipping for monotone programs
+    /// (see [`functional_run`](Self::functional_run)); it is a pure
+    /// optimisation toggle — results are bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unschedulable`] when the grid's interval count is below
+    /// the PU count or not divisible by it.
+    pub(crate) fn run_traced<P: EdgeProgram>(
         &self,
         program: &P,
         grid: &GridGraph,
         strategy: ExecutionStrategy,
-    ) -> Result<(RunReport, Vec<P::Value>), CoreError> {
+        skip_clean: bool,
+    ) -> Result<(RunReport, Vec<P::Value>, RunTrace), CoreError> {
         let n = self.config.num_pus;
         let p = grid.num_intervals();
-        if !p.is_multiple_of(n) && p >= n {
-            return Err(CoreError::Unschedulable {
-                message: format!("{p} intervals not divisible by {n} processing units"),
-            });
-        }
         if p < n {
             return Err(CoreError::Unschedulable {
                 message: format!("{p} intervals < {n} processing units"),
             });
         }
+        if !p.is_multiple_of(n) {
+            return Err(CoreError::Unschedulable {
+                message: format!("{p} intervals not divisible by {n} processing units"),
+            });
+        }
         let schedule = crate::schedule::SuperBlockSchedule::new(p, n).expect("shape checked above");
-        let plan = BlockPlan::build(grid, &schedule, strategy);
+        // The contiguous SoA edge stream is memoized on the grid (built on
+        // first run, invalidated on mutation), and the per-run artifacts
+        // (block plan, out-degrees) derive from it in a single pass each
+        // instead of per-iteration rescans.
+        let flat = grid.flat();
+        let plan = BlockPlan::build(flat, &schedule, strategy);
+        let meta = GraphMeta {
+            num_vertices: grid.num_vertices(),
+            num_edges: grid.num_edges(),
+            out_degrees: flat.out_degrees().to_vec(),
+        };
 
         // ---- functional pass -------------------------------------------
-        let (values, iterations, changed_per_iter) =
-            self.functional_run(program, grid, &plan, strategy);
+        let (values, trace) =
+            self.functional_run(program, grid, flat, &meta, &plan, strategy, skip_clean);
 
         // ---- cost pass --------------------------------------------------
-        let report = self.account(program, grid, iterations, &changed_per_iter, &plan);
-        Ok((report, values))
+        let report = self.account(program, grid, trace.iterations, &trace.changed, &plan);
+        Ok((report, values, trace))
     }
 
     /// Cost of the one-shot initialization write (§3.1). ReRAM's limited
@@ -245,8 +294,8 @@ impl Engine {
         })
     }
 
-    /// Executes the program over the grid, one snapshot-based pass per
-    /// iteration.
+    /// Executes the program over the flattened grid, one snapshot-based
+    /// pass per iteration.
     ///
     /// Each PU walks its own blocks (in schedule order) against the
     /// iteration-start snapshot — accumulate programs into a per-PU
@@ -257,112 +306,203 @@ impl Engine {
     /// is bit-identical for every [`ExecutionStrategy`]. Monotone merges are
     /// semilattice joins (min for BFS/CC/SSSP), so the reduction preserves
     /// monotonicity and converges to the same fixpoint as the references.
+    ///
+    /// ## Scratch reuse
+    ///
+    /// Each PU owns one [`PuScratch`] for the whole run, lent back to it
+    /// every iteration through [`fan_out_mut`]: accumulate mode refills it
+    /// with the identity instead of re-allocating, monotone mode copies the
+    /// snapshot into it instead of cloning — and only lazily, on the first
+    /// block the PU actually processes, so a fully-skipped PU costs nothing
+    /// and is ignored by the reduce (merging a PU whose local values equal
+    /// the snapshot is a no-op, since the join is idempotent).
+    ///
+    /// ## Dirty-interval skipping (`skip_clean`, monotone only)
+    ///
+    /// A block `(I, J)` may be skipped in iteration `k` when interval `I`
+    /// is *clean* — no vertex of `I` changed in iteration `k-1`'s reduce —
+    /// and the PU has not touched `I` itself earlier in this pass (for
+    /// undirected programs the same must hold for `J`, which also acts as a
+    /// message source). A clean, untouched interval holds exactly the
+    /// values it held at the same point of iteration `k-1`, so the skipped
+    /// block would re-send precisely the messages it sent then — messages
+    /// the destination already absorbed, and absorbing a message twice is a
+    /// no-op for an idempotent join. Values, per-iteration `changed` flags,
+    /// iteration counts and therefore [`RunReport`]s are bit-identical with
+    /// the skip on or off (the cost pass charges full sweeps per §7.1
+    /// regardless — accounting is untouched by design; see the proptest
+    /// equivalence suite and DESIGN.md for the full argument).
+    #[allow(clippy::too_many_arguments)]
     fn functional_run<P: EdgeProgram>(
         &self,
         program: &P,
         grid: &GridGraph,
+        flat: &FlatGrid,
+        meta: &GraphMeta,
         plan: &BlockPlan,
         strategy: ExecutionStrategy,
-    ) -> (Vec<P::Value>, u32, Vec<bool>) {
-        let meta = GraphMeta {
-            num_vertices: grid.num_vertices(),
-            num_edges: grid.num_edges(),
-            out_degrees: {
-                let mut deg = vec![0u32; grid.num_vertices() as usize];
-                for e in grid.iter_edges() {
-                    deg[e.src.index()] += 1;
-                }
-                deg
-            },
-        };
+        skip_clean: bool,
+    ) -> (Vec<P::Value>, RunTrace) {
         let nv = meta.num_vertices as usize;
+        let p = flat.num_intervals() as usize;
+        let partition = grid.partition_info();
         let mut values: Vec<P::Value> = (0..meta.num_vertices)
-            .map(|v| program.init(VertexId::new(v), &meta))
+            .map(|v| program.init(VertexId::new(v), meta))
             .collect();
         let bound = program.bound();
+        let mode = program.mode();
+        let undirected = program.undirected();
         let mut iterations = 0;
         let mut changed_flags = Vec::new();
+
+        let mut scratch: Vec<PuScratch<P::Value>> = (0..plan.num_pus())
+            .map(|_| PuScratch {
+                values: vec![program.identity(); nv],
+                touched: vec![false; p],
+                active: false,
+            })
+            .collect();
+        // Iteration 1 scans every block — unless the program guarantees
+        // identity-valued sources scatter only absorbed messages, in which
+        // case only the intervals seeded away from the identity (the source
+        // interval, for BFS/SSSP) start dirty and the first sweep is almost
+        // free. The plain `!=` is deliberate: a NaN init value compares
+        // unequal to everything and therefore conservatively stays dirty.
+        let mut dirty = vec![true; p];
+        if matches!(mode, ExecutionMode::Monotone) && program.scatter_absorbs_identity() {
+            let identity = program.identity();
+            dirty.fill(false);
+            for (v, value) in values.iter().enumerate() {
+                if *value != identity {
+                    dirty[partition.interval_of(VertexId::new(v as u32)) as usize] = true;
+                }
+            }
+        }
+        let mut dirty_next = vec![false; p];
 
         for _ in 0..bound.max_iterations() {
             iterations += 1;
             // Fan the per-PU block work out; each worker reads only the
-            // iteration-start snapshot plus its own writes.
+            // iteration-start snapshot plus its own scratch.
             let snapshot = &values;
-            let per_pu: Vec<Vec<P::Value>> = fan_out(strategy, plan.num_pus(), |pu| match program
-                .mode()
-            {
+            let dirty_now = &dirty;
+            fan_out_mut(strategy, &mut scratch, |pu, scratch| match mode {
                 ExecutionMode::Accumulate => {
-                    let mut acc = vec![program.identity(); nv];
+                    scratch.active = true;
+                    scratch.values.fill(program.identity());
+                    let acc = &mut scratch.values;
                     for &(src, dst) in plan.blocks(pu) {
-                        for e in grid.block_at(src, dst).edges() {
-                            let msg = program.scatter(snapshot[e.src.index()], e, &meta);
+                        for e in flat.block_edges(src, dst) {
+                            let msg = program.scatter(snapshot[e.src.index()], &e, meta);
                             acc[e.dst.index()] = program.merge(acc[e.dst.index()], msg);
-                            if program.undirected() {
+                            if undirected {
                                 let msg =
-                                    program.scatter(snapshot[e.dst.index()], &e.reversed(), &meta);
+                                    program.scatter(snapshot[e.dst.index()], &e.reversed(), meta);
                                 acc[e.src.index()] = program.merge(acc[e.src.index()], msg);
                             }
                         }
                     }
-                    acc
                 }
                 ExecutionMode::Monotone => {
-                    let mut local = snapshot.clone();
+                    scratch.active = false;
+                    scratch.touched.fill(false);
                     for &(src, dst) in plan.blocks(pu) {
-                        for e in grid.block_at(src, dst).edges() {
-                            let msg = program.scatter(local[e.src.index()], e, &meta);
-                            local[e.dst.index()] = program.merge(local[e.dst.index()], msg);
-                            if program.undirected() {
+                        let range = flat.block_range(src, dst);
+                        if range.is_empty() {
+                            continue;
+                        }
+                        let (si, di) = (src as usize, dst as usize);
+                        let src_clean = !dirty_now[si] && !scratch.touched[si];
+                        let clean =
+                            src_clean && (!undirected || (!dirty_now[di] && !scratch.touched[di]));
+                        if skip_clean && clean {
+                            continue;
+                        }
+                        if !scratch.active {
+                            // Lazy snapshot copy: deferred past skipped and
+                            // empty blocks so a quiescent PU never pays it.
+                            scratch.values.copy_from_slice(snapshot);
+                            scratch.active = true;
+                        }
+                        let local = &mut scratch.values;
+                        for e in flat.edges_in(range) {
+                            let msg = program.scatter(local[e.src.index()], &e, meta);
+                            let cur = local[e.dst.index()];
+                            let merged = program.merge(cur, msg);
+                            if registers_change(&cur, &merged) {
+                                local[e.dst.index()] = merged;
+                                scratch.touched[di] = true;
+                            }
+                            if undirected {
                                 let msg =
-                                    program.scatter(local[e.dst.index()], &e.reversed(), &meta);
-                                local[e.src.index()] = program.merge(local[e.src.index()], msg);
+                                    program.scatter(local[e.dst.index()], &e.reversed(), meta);
+                                let cur = local[e.src.index()];
+                                let merged = program.merge(cur, msg);
+                                if registers_change(&cur, &merged) {
+                                    local[e.src.index()] = merged;
+                                    scratch.touched[si] = true;
+                                }
                             }
                         }
                     }
-                    local
                 }
             });
 
             // Reduce in fixed PU order — the determinism anchor.
             let mut changed = false;
-            match program.mode() {
+            dirty_next.fill(false);
+            match mode {
                 ExecutionMode::Accumulate => {
-                    let mut outcomes = per_pu.into_iter();
-                    let mut total = outcomes
-                        .next()
-                        .unwrap_or_else(|| vec![program.identity(); nv]);
-                    for acc in outcomes {
-                        for (t, a) in total.iter_mut().zip(acc) {
-                            *t = program.merge(*t, a);
+                    let (first, rest) = scratch.split_at_mut(1);
+                    let total = &mut first[0].values;
+                    for acc in rest.iter() {
+                        for (t, a) in total.iter_mut().zip(&acc.values) {
+                            *t = program.merge(*t, *a);
                         }
                     }
                     for v in 0..nv {
-                        let new =
-                            program.apply(VertexId::new(v as u32), total[v], values[v], &meta);
-                        if new != values[v] {
+                        let new = program.apply(VertexId::new(v as u32), total[v], values[v], meta);
+                        if registers_change(&values[v], &new) {
                             changed = true;
                         }
                         values[v] = new;
                     }
                 }
                 ExecutionMode::Monotone => {
-                    for local in per_pu {
-                        for (v, l) in values.iter_mut().zip(local) {
-                            let merged = program.merge(*v, l);
-                            if merged != *v {
-                                *v = merged;
-                                changed = true;
+                    // A PU's local values differ from the snapshot only in
+                    // intervals it touched (every local write is gated on a
+                    // registered change), and joining a value the global
+                    // state already absorbed is a no-op — so merging only
+                    // the touched intervals is exact, not an approximation.
+                    for local in scratch.iter().filter(|s| s.active) {
+                        for (i, _) in local.touched.iter().enumerate().filter(|(_, t)| **t) {
+                            for v in partition.interval_vertices(i as u32) {
+                                let vi = v.index();
+                                let cur = values[vi];
+                                let merged = program.merge(cur, local.values[vi]);
+                                if registers_change(&cur, &merged) {
+                                    values[vi] = merged;
+                                    changed = true;
+                                    dirty_next[i] = true;
+                                }
                             }
                         }
                     }
                 }
             }
             changed_flags.push(changed);
+            std::mem::swap(&mut dirty, &mut dirty_next);
             if matches!(bound, IterationBound::Converge { .. }) && !changed {
                 break;
             }
         }
-        (values, iterations, changed_flags)
+        (
+            values,
+            RunTrace {
+                iterations,
+                changed: changed_flags,
+            },
+        )
     }
 
     /// Computes the full energy/time report for `iterations` identical
@@ -638,6 +778,67 @@ mod tests {
             engine.run(&PageRank::new(1), &grid),
             Err(CoreError::Unschedulable { .. })
         ));
+    }
+
+    fn unschedulable_message(engine: &Engine, grid: &GridGraph) -> String {
+        match engine.run(&PageRank::new(1), grid) {
+            Err(CoreError::Unschedulable { message }) => message,
+            other => panic!("expected Unschedulable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_few_intervals_reports_the_shortage() {
+        let g = small_graph();
+        let engine = engine_for(SystemConfig::hyve()); // 8 PUs
+        let grid = GridGraph::partition(&g, 4).unwrap();
+        assert_eq!(
+            unschedulable_message(&engine, &grid),
+            "4 intervals < 8 processing units"
+        );
+    }
+
+    #[test]
+    fn indivisible_intervals_report_the_divisibility() {
+        let g = small_graph();
+        let engine = engine_for(SystemConfig::hyve()); // 8 PUs
+        let grid = GridGraph::partition(&g, 12).unwrap();
+        assert_eq!(
+            unschedulable_message(&engine, &grid),
+            "12 intervals not divisible by 8 processing units"
+        );
+    }
+
+    #[test]
+    fn skipping_off_matches_skipping_on_bit_for_bit() {
+        let g = small_graph();
+        let engine = engine_for(SystemConfig::hyve_opt());
+        let grid = GridGraph::partition(&g, 16).unwrap();
+        for threads in [0usize, 3] {
+            let strategy = match threads {
+                0 => ExecutionStrategy::Sequential,
+                t => ExecutionStrategy::Parallel { threads: t },
+            };
+            let (fast_report, fast_values, fast_trace) = engine
+                .run_traced(&Sssp::new(VertexId::new(0)), &grid, strategy, true)
+                .unwrap();
+            let (full_report, full_values, full_trace) = engine
+                .run_traced(&Sssp::new(VertexId::new(0)), &grid, strategy, false)
+                .unwrap();
+            assert_eq!(fast_report, full_report);
+            assert_eq!(fast_values, full_values);
+            assert_eq!(fast_trace, full_trace);
+        }
+    }
+
+    #[test]
+    fn nan_values_never_register_as_changed() {
+        assert!(registers_change(&1.0f32, &2.0));
+        assert!(!registers_change(&1.0f32, &1.0));
+        assert!(!registers_change(&1.0f32, &f32::NAN));
+        assert!(!registers_change(&f32::NAN, &f32::NAN));
+        // NaN as the *old* value still lets a real value land.
+        assert!(registers_change(&f32::NAN, &1.0));
     }
 
     #[test]

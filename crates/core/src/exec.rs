@@ -10,7 +10,7 @@
 //! sequential path regardless of thread count or interleaving.
 
 use crate::schedule::SuperBlockSchedule;
-use hyve_graph::GridGraph;
+use hyve_graph::FlatGrid;
 
 /// How a [`SimulationSession`](crate::session::SimulationSession) executes
 /// the per-PU work of each iteration (and sweeps over configurations).
@@ -71,6 +71,39 @@ where
         .collect()
 }
 
+/// In-place sibling of [`fan_out`]: runs `f(i, &mut states[i])` for every
+/// state under `strategy`. This is how per-PU scratch buffers survive across
+/// iterations — the engine allocates them once per run and lends each worker
+/// exclusive access to its own slot, instead of collecting freshly-allocated
+/// outputs every iteration. `f` must be pure with respect to `(i, state)`;
+/// states are disjoint, so any thread interleaving leaves the same data in
+/// the same slots.
+pub(crate) fn fan_out_mut<S, F>(strategy: ExecutionStrategy, states: &mut [S], f: F)
+where
+    S: Send,
+    F: Fn(usize, &mut S) + Sync,
+{
+    let tasks = states.len();
+    let workers = strategy.worker_threads(tasks);
+    if workers <= 1 || tasks <= 1 {
+        for (i, state) in states.iter_mut().enumerate() {
+            f(i, state);
+        }
+        return;
+    }
+    let chunk = tasks.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (c, state_chunk) in states.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                for (i, state) in state_chunk.iter_mut().enumerate() {
+                    f(c * chunk + i, state);
+                }
+            });
+        }
+    });
+}
+
 /// Per-run static-cost memo over the block grid.
 ///
 /// Algorithm 2's schedule is a pure function of `(P, N)`, and every
@@ -93,9 +126,10 @@ pub(crate) struct BlockPlan {
 }
 
 impl BlockPlan {
-    /// Builds the memo, fanning the per-PU scans out under `strategy`.
+    /// Builds the memo over the flattened grid (block sizes are O(1)
+    /// offset-table lookups), fanning the per-PU scans out under `strategy`.
     pub(crate) fn build(
-        grid: &GridGraph,
+        flat: &FlatGrid,
         schedule: &SuperBlockSchedule,
         strategy: ExecutionStrategy,
     ) -> Self {
@@ -114,7 +148,7 @@ impl BlockPlan {
                         let src = sx * n + (pu + step) % n;
                         let dst = sy * n + pu;
                         blocks.push((src, dst));
-                        edges.push(grid.block_at(src, dst).len() as u64);
+                        edges.push(flat.block_len(src, dst) as u64);
                     }
                 }
             }
@@ -179,11 +213,29 @@ mod tests {
     }
 
     #[test]
+    fn fan_out_mut_updates_every_slot_in_place_for_any_thread_count() {
+        for strategy in [
+            ExecutionStrategy::Sequential,
+            ExecutionStrategy::Parallel { threads: 1 },
+            ExecutionStrategy::Parallel { threads: 3 },
+            ExecutionStrategy::Parallel { threads: 16 },
+        ] {
+            let mut states: Vec<Vec<usize>> = (0..9).map(|i| vec![i]).collect();
+            fan_out_mut(strategy, &mut states, |i, s| s.push(i * i));
+            for (i, s) in states.iter().enumerate() {
+                assert_eq!(s, &vec![i, i * i], "slot {i} under {strategy:?}");
+            }
+            let mut empty: Vec<u8> = Vec::new();
+            fan_out_mut(strategy, &mut empty, |_, _| unreachable!());
+        }
+    }
+
+    #[test]
     fn plan_matches_schedule_iteration() {
         let graph = DatasetProfile::youtube_scaled().generate(3);
         let grid = GridGraph::partition(&graph, 16).unwrap();
         let schedule = SuperBlockSchedule::new(16, 4).unwrap();
-        let plan = BlockPlan::build(&grid, &schedule, ExecutionStrategy::Sequential);
+        let plan = BlockPlan::build(&grid.flatten(), &schedule, ExecutionStrategy::Sequential);
 
         // Every block appears exactly once across PUs.
         let mut seen = HashSet::new();
@@ -212,11 +264,11 @@ mod tests {
     #[test]
     fn plan_is_identical_for_any_strategy() {
         let graph = DatasetProfile::youtube_scaled().generate(9);
-        let grid = GridGraph::partition(&graph, 8).unwrap();
+        let flat = GridGraph::partition(&graph, 8).unwrap().flatten();
         let schedule = SuperBlockSchedule::new(8, 8).unwrap();
-        let base = BlockPlan::build(&grid, &schedule, ExecutionStrategy::Sequential);
+        let base = BlockPlan::build(&flat, &schedule, ExecutionStrategy::Sequential);
         for threads in [1, 2, 5, 8] {
-            let par = BlockPlan::build(&grid, &schedule, ExecutionStrategy::Parallel { threads });
+            let par = BlockPlan::build(&flat, &schedule, ExecutionStrategy::Parallel { threads });
             assert_eq!(par.sync_edges(), base.sync_edges());
             for pu in 0..base.num_pus() {
                 assert_eq!(par.blocks(pu), base.blocks(pu));

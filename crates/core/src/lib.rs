@@ -65,5 +65,5 @@ pub use pu::ProcessingUnit;
 pub use router::Router;
 pub use schedule::{Assignment, SuperBlockSchedule};
 pub use session::{SessionBuilder, SimulationSession};
-pub use stats::{EnergyBreakdown, PhaseTimes, RunReport};
+pub use stats::{EnergyBreakdown, PhaseTimes, RunReport, RunTrace};
 pub use workflow::WorkingFlow;

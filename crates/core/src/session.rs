@@ -34,7 +34,7 @@ use crate::engine::{Engine, PreprocessingReport};
 use crate::error::CoreError;
 use crate::exec::{fan_out, ExecutionStrategy};
 use crate::hierarchy::HierarchyInstance;
-use crate::stats::RunReport;
+use crate::stats::{RunReport, RunTrace};
 use hyve_algorithms::EdgeProgram;
 use hyve_graph::{EdgeList, GridGraph};
 
@@ -46,12 +46,25 @@ use hyve_graph::{EdgeList, GridGraph};
 pub struct SessionBuilder {
     config: SystemConfig,
     strategy: ExecutionStrategy,
+    dirty_skipping: bool,
 }
 
 impl SessionBuilder {
     /// Sets the execution strategy (default: sequential).
     pub fn strategy(mut self, strategy: ExecutionStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Enables or disables dirty-interval skipping for monotone programs
+    /// (default: enabled). A pure optimisation toggle: the engine skips
+    /// blocks whose source interval saw no change last iteration, and the
+    /// semilattice-join semantics make the skip provably bit-identical —
+    /// values, iteration counts and [`RunReport`]s are unchanged either
+    /// way. Disable it to benchmark the full-rescan path or to cross-check
+    /// equivalence (as the proptest suite does).
+    pub fn dirty_interval_skipping(mut self, enabled: bool) -> Self {
+        self.dirty_skipping = enabled;
         self
     }
 
@@ -83,6 +96,7 @@ impl SessionBuilder {
         Ok(SimulationSession {
             engine,
             strategy: self.strategy,
+            dirty_skipping: self.dirty_skipping,
         })
     }
 }
@@ -95,6 +109,7 @@ impl SessionBuilder {
 pub struct SimulationSession {
     engine: Engine,
     strategy: ExecutionStrategy,
+    dirty_skipping: bool,
 }
 
 impl SimulationSession {
@@ -103,6 +118,7 @@ impl SimulationSession {
         SessionBuilder {
             config,
             strategy: ExecutionStrategy::Sequential,
+            dirty_skipping: true,
         }
     }
 
@@ -154,8 +170,25 @@ impl SimulationSession {
         program: &P,
         grid: &GridGraph,
     ) -> Result<(RunReport, Vec<P::Value>), CoreError> {
+        self.run_with_trace(program, grid)
+            .map(|(report, values, _)| (report, values))
+    }
+
+    /// Like [`run_with_values`](Self::run_with_values), also returning the
+    /// per-iteration [`RunTrace`] — the handle equivalence tests use to
+    /// assert that engine optimisations leave the iteration structure (not
+    /// just the final values) untouched.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_with_trace<P: EdgeProgram>(
+        &self,
+        program: &P,
+        grid: &GridGraph,
+    ) -> Result<(RunReport, Vec<P::Value>, RunTrace), CoreError> {
         self.engine
-            .run_with_values_strategy(program, grid, self.strategy)
+            .run_traced(program, grid, self.strategy, self.dirty_skipping)
     }
 
     /// Partitions the edge list with the planned interval count and runs.
@@ -225,8 +258,13 @@ impl SimulationSession {
                 let p = engine.plan_intervals(program, graph.num_vertices());
                 let grid = GridGraph::partition(graph, p)?;
                 engine
-                    .run_with_values_strategy(program, &grid, ExecutionStrategy::Sequential)
-                    .map(|(report, _)| report)
+                    .run_traced(
+                        program,
+                        &grid,
+                        ExecutionStrategy::Sequential,
+                        self.dirty_skipping,
+                    )
+                    .map(|(report, _, _)| report)
             });
         results.into_iter().collect()
     }

@@ -1,0 +1,253 @@
+//! [`FlatGrid`]: a flat structure-of-arrays image of a [`GridGraph`].
+//!
+//! The mutable grid stores each block as its own `Vec<Edge>` (AoS, with §5
+//! slack and overflow segments for dynamic updates). That is the right shape
+//! for O(1) insertion but the wrong shape for the simulator's hot loop,
+//! which streams every edge of every block once per iteration. `FlatGrid`
+//! re-materialises the grid the way the paper's §3.4 layout actually sits in
+//! edge memory — one contiguous edge stream with a per-block offset table —
+//! split into parallel `src`/`dst`/`weight` columns so a block walk is a
+//! pure sequential scan with no per-block pointer chase.
+//!
+//! Blocks appear in row-major order (matching
+//! [`BlockId::linear`](crate::partition::BlockId::linear)) and edges within
+//! a block keep the source grid's order, so iterating a `FlatGrid` visits
+//! edges in exactly the same order as [`GridGraph::iter_edges`].
+
+use crate::grid::GridGraph;
+use crate::types::Edge;
+use std::ops::Range;
+
+/// A read-only structure-of-arrays snapshot of a [`GridGraph`].
+///
+/// Built with [`GridGraph::flatten`] (owned snapshot) or served from the
+/// grid's memoized [`GridGraph::flat`] cache; the grid remains the mutable
+/// representation (dynamic §5 updates go there) and invalidates the cache
+/// on mutation.
+///
+/// ```
+/// use hyve_graph::{Edge, EdgeList, GridGraph};
+///
+/// # fn main() -> Result<(), hyve_graph::GraphError> {
+/// let g = EdgeList::from_edges(8, [Edge::new(2, 4), Edge::new(0, 7)])?;
+/// let flat = GridGraph::partition(&g, 4)?.flatten();
+/// assert_eq!(flat.block_len(1, 2), 1); // e2.4 in B1.2, as in Fig. 1
+/// assert_eq!(flat.num_edges(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatGrid {
+    p: u32,
+    num_vertices: u32,
+    /// Row-major block boundaries into the edge columns; length `P² + 1`.
+    offsets: Vec<usize>,
+    src: Vec<u32>,
+    dst: Vec<u32>,
+    weight: Vec<f32>,
+    /// Per-vertex out-degree, computed once at flatten time so runs don't
+    /// rescan the edge stream for it.
+    out_degrees: Vec<u32>,
+}
+
+impl FlatGrid {
+    /// Flattens a grid into contiguous SoA edge columns.
+    pub fn from_grid(grid: &GridGraph) -> Self {
+        let p = grid.num_intervals();
+        let ne = grid.num_edges() as usize;
+        let mut offsets = Vec::with_capacity(p as usize * p as usize + 1);
+        let mut src = Vec::with_capacity(ne);
+        let mut dst = Vec::with_capacity(ne);
+        let mut weight = Vec::with_capacity(ne);
+        offsets.push(0);
+        let mut out_degrees = vec![0u32; grid.num_vertices() as usize];
+        for block in grid.blocks() {
+            for e in block.edges() {
+                src.push(e.src.raw());
+                dst.push(e.dst.raw());
+                weight.push(e.weight);
+                out_degrees[e.src.index()] += 1;
+            }
+            offsets.push(src.len());
+        }
+        FlatGrid {
+            p,
+            num_vertices: grid.num_vertices(),
+            offsets,
+            src,
+            dst,
+            weight,
+            out_degrees,
+        }
+    }
+
+    /// Number of intervals `P`.
+    pub fn num_intervals(&self) -> u32 {
+        self.p
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> u64 {
+        self.src.len() as u64
+    }
+
+    /// The edge-column range of the block at (src interval, dst interval) —
+    /// an O(1) offset-table lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is ≥ P.
+    pub fn block_range(&self, src: u32, dst: u32) -> Range<usize> {
+        let p = self.p;
+        assert!(
+            src < p && dst < p,
+            "block ({src},{dst}) out of a {p}x{p} grid"
+        );
+        let i = src as usize * p as usize + dst as usize;
+        self.offsets[i]..self.offsets[i + 1]
+    }
+
+    /// Number of edges in the block at (src interval, dst interval).
+    pub fn block_len(&self, src: u32, dst: u32) -> usize {
+        self.block_range(src, dst).len()
+    }
+
+    /// Iterates the block's edges, materialised by value from the columns.
+    pub fn block_edges(&self, src: u32, dst: u32) -> impl Iterator<Item = Edge> + '_ {
+        self.edges_in(self.block_range(src, dst))
+    }
+
+    /// Iterates the edges in an arbitrary column `range` (as produced by
+    /// [`block_range`](Self::block_range)).
+    pub fn edges_in(&self, range: Range<usize>) -> impl Iterator<Item = Edge> + '_ {
+        self.src[range.clone()]
+            .iter()
+            .zip(&self.dst[range.clone()])
+            .zip(&self.weight[range])
+            .map(|((&s, &d), &w)| Edge::with_weight(s, d, w))
+    }
+
+    /// Iterates every edge in block row-major order — the same order as
+    /// [`GridGraph::iter_edges`] on the source grid.
+    pub fn iter_edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.edges_in(0..self.src.len())
+    }
+
+    /// Out-degree of every vertex, tallied once at flatten time.
+    pub fn out_degrees(&self) -> &[u32] {
+        &self.out_degrees
+    }
+
+    /// The contiguous source-vertex column.
+    pub fn srcs(&self) -> &[u32] {
+        &self.src
+    }
+
+    /// The contiguous destination-vertex column.
+    pub fn dsts(&self) -> &[u32] {
+        &self.dst
+    }
+
+    /// The contiguous weight column.
+    pub fn weights(&self) -> &[f32] {
+        &self.weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgelist::EdgeList;
+
+    /// The paper's Fig. 1 graph (same fixture as the grid tests).
+    fn fig1() -> EdgeList {
+        EdgeList::from_edges(
+            8,
+            [
+                (1, 0),
+                (0, 7),
+                (2, 3),
+                (2, 4),
+                (3, 4),
+                (3, 7),
+                (4, 1),
+                (4, 5),
+                (6, 2),
+                (6, 0),
+                (7, 1),
+            ]
+            .into_iter()
+            .map(|(s, d)| Edge::new(s, d)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flatten_matches_block_assignment() {
+        let grid = GridGraph::partition(&fig1(), 4).unwrap();
+        let flat = grid.flatten();
+        assert_eq!(flat.num_intervals(), 4);
+        assert_eq!(flat.num_vertices(), 8);
+        assert_eq!(flat.num_edges(), 11);
+        for s in 0..4 {
+            for d in 0..4 {
+                assert_eq!(flat.block_len(s, d), grid.block_at(s, d).len());
+                let from_flat: Vec<Edge> = flat.block_edges(s, d).collect();
+                assert_eq!(from_flat, grid.block_at(s, d).edges());
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_order_matches_grid() {
+        let grid = GridGraph::partition(&fig1(), 4).unwrap();
+        let flat = grid.flatten();
+        let from_flat: Vec<Edge> = flat.iter_edges().collect();
+        let from_grid: Vec<Edge> = grid.iter_edges().copied().collect();
+        assert_eq!(from_flat, from_grid);
+    }
+
+    #[test]
+    fn out_degrees_match_source_list() {
+        let g = fig1();
+        let flat = GridGraph::partition(&g, 4).unwrap().flatten();
+        assert_eq!(flat.out_degrees(), g.out_degrees());
+    }
+
+    #[test]
+    fn columns_are_contiguous_and_aligned() {
+        let flat = GridGraph::partition(&fig1(), 4).unwrap().flatten();
+        assert_eq!(flat.srcs().len(), 11);
+        assert_eq!(flat.dsts().len(), 11);
+        assert_eq!(flat.weights().len(), 11);
+        // Offsets are monotone and cover the columns exactly.
+        let r = flat.block_range(3, 3);
+        assert!(r.end <= flat.srcs().len());
+        assert_eq!(flat.block_range(0, 0).start, 0);
+    }
+
+    #[test]
+    fn empty_grid_flattens() {
+        let flat = GridGraph::partition(&EdgeList::new(8), 4)
+            .unwrap()
+            .flatten();
+        assert_eq!(flat.num_edges(), 0);
+        for s in 0..4 {
+            for d in 0..4 {
+                assert!(flat.block_range(s, d).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of a")]
+    fn block_range_out_of_bounds_panics() {
+        let flat = GridGraph::partition(&fig1(), 2).unwrap().flatten();
+        let _ = flat.block_range(2, 0);
+    }
+}

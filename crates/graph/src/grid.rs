@@ -116,11 +116,23 @@ impl Block {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct GridGraph {
     partition: IntervalPartition,
     blocks: Vec<Block>,
     num_edges: u64,
+    /// Lazily-built SoA image served by [`GridGraph::flat`]; reset by the
+    /// dynamic-update mutators so it can never go stale.
+    flat: std::sync::OnceLock<crate::flat::FlatGrid>,
+}
+
+/// The cache is derived state: equality is over the grid contents only.
+impl PartialEq for GridGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.partition == other.partition
+            && self.blocks == other.blocks
+            && self.num_edges == other.num_edges
+    }
 }
 
 impl GridGraph {
@@ -166,6 +178,7 @@ impl GridGraph {
             partition,
             blocks,
             num_edges: g.len() as u64,
+            flat: std::sync::OnceLock::new(),
         })
     }
 
@@ -214,6 +227,7 @@ impl GridGraph {
     }
 
     pub(crate) fn block_at_mut(&mut self, src: u32, dst: u32) -> &mut Block {
+        self.flat.take(); // block contents may change under the caller
         let p = self.num_intervals();
         assert!(
             src < p && dst < p,
@@ -223,6 +237,7 @@ impl GridGraph {
     }
 
     pub(crate) fn add_edge_count(&mut self, delta: i64) {
+        self.flat.take();
         self.num_edges = self.num_edges.wrapping_add_signed(delta);
     }
 
@@ -245,6 +260,22 @@ impl GridGraph {
     /// per interval, a 2 × 32-bit header plus one value per vertex (§3.4).
     pub fn vertex_storage_bits(&self, value_bits: u64) -> u64 {
         u64::from(self.num_intervals()) * 64 + u64::from(self.num_vertices()) * value_bits
+    }
+
+    /// Snapshots the grid into an owned contiguous structure-of-arrays
+    /// [`FlatGrid`](crate::FlatGrid). O(E) every call; prefer
+    /// [`GridGraph::flat`] on hot paths.
+    pub fn flatten(&self) -> crate::flat::FlatGrid {
+        crate::flat::FlatGrid::from_grid(self)
+    }
+
+    /// The memoized structure-of-arrays image of this grid — the layout the
+    /// simulator's hot loop walks. Built on first use (O(E)) and cached for
+    /// the life of the grid; the dynamic-update mutators drop the cache, so
+    /// the next call re-flattens the current contents.
+    pub fn flat(&self) -> &crate::flat::FlatGrid {
+        self.flat
+            .get_or_init(|| crate::flat::FlatGrid::from_grid(self))
     }
 
     /// Flattens the grid back into an edge list (inverse of partitioning,
@@ -392,5 +423,31 @@ mod tests {
         let grid = GridGraph::partition(&g, 4).unwrap();
         assert_eq!(grid.num_edges(), 0);
         assert_eq!(grid.non_empty_blocks(), 0);
+    }
+
+    #[test]
+    fn flat_is_memoized_until_the_grid_mutates() {
+        let mut grid = GridGraph::partition(&fig1(), 4).unwrap();
+        let first = grid.flat() as *const _;
+        assert!(
+            std::ptr::eq(first, grid.flat()),
+            "repeat calls hit the cache"
+        );
+        assert_eq!(grid.flat().num_edges(), 11);
+
+        // A mutable block access drops the cache, so the next flat image
+        // sees the inserted edge.
+        let _fit = grid.block_at_mut(0, 0).push_edge(Edge::new(0, 1));
+        grid.add_edge_count(1);
+        assert_eq!(grid.flat().num_edges(), 12);
+        assert_eq!(grid.flat().block_len(0, 0), grid.block_at(0, 0).len());
+    }
+
+    #[test]
+    fn clones_and_equality_ignore_the_flat_cache() {
+        let grid = GridGraph::partition(&fig1(), 4).unwrap();
+        let warmed = grid.clone();
+        let _ = warmed.flat();
+        assert_eq!(grid, warmed, "cache state must not affect equality");
     }
 }

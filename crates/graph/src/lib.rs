@@ -5,6 +5,8 @@
 //! * [`EdgeList`] / [`Csr`] — basic containers,
 //! * [`GridGraph`] — the interval-block (P×P) partitioning of §2.1/Fig. 1,
 //!   with per-block reserved slack for dynamic updates (§5),
+//! * [`FlatGrid`] — a read-only structure-of-arrays snapshot of a grid
+//!   (§3.4's contiguous edge stream + offset table) for fast streaming,
 //! * [`DynamicGrid`] — the O(1) add/delete working flow for evolving graphs,
 //! * [`generate`] — R-MAT and Erdős–Rényi generators,
 //! * [`DatasetProfile`] — scaled-down stand-ins for the paper's five SNAP
@@ -33,6 +35,7 @@ pub mod datasets;
 pub mod dynamic;
 pub mod edgelist;
 pub mod error;
+pub mod flat;
 pub mod generate;
 pub mod grid;
 pub mod io;
@@ -45,6 +48,7 @@ pub use datasets::DatasetProfile;
 pub use dynamic::{DynamicGrid, Mutation, MutationOutcome};
 pub use edgelist::EdgeList;
 pub use error::GraphError;
+pub use flat::FlatGrid;
 pub use generate::{ErdosRenyi, Rmat};
 pub use grid::{Block, GridGraph};
 pub use partition::{block_sparsity, BlockId, IntervalPartition, PartitionScheme, SparsityStats};

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Appends one hot-path speedup measurement (legacy AoS engine loop vs the
+# flat-SoA/scratch/skip engine) to BENCH_hotpath.json at the repo root.
+# Each line is a self-contained JSON object stamped with the current git
+# revision, so the file accumulates a performance trajectory across commits.
+#
+# Usage: scripts/bench_report.sh [output-file]
+# Env:   HYVE_BENCH_SMALL=1 switches from the largest dataset (TW) to YT
+#        for quick CI runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_hotpath.json}"
+
+HOTPATH_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+HOTPATH_UTC="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+export HOTPATH_REV HOTPATH_UTC
+
+cargo run --release -p hyve-bench --bin hotpath_report -- "$out"
+echo "==> trajectory tail:"
+tail -n 1 "$out"

@@ -16,10 +16,16 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo bench --no-run"
+cargo bench --workspace --no-run
+
 echo "==> cargo test"
 cargo test -q
 
 echo "==> cargo test --workspace"
 cargo test --workspace -q
+
+echo "==> golden reports"
+cargo test -q --test golden_reports
 
 echo "All checks passed."

@@ -20,8 +20,10 @@ pub use hyve_algorithms::{
 };
 pub use hyve_core::{
     CoreError, EdgeMemoryKind, EnergyBreakdown, ExecutionStrategy, HierarchyInstance,
-    HierarchySpec, PhaseTimes, RunReport, SessionBuilder, SimulationSession, SystemConfig,
-    VertexMemoryKind,
+    HierarchySpec, PhaseTimes, RunReport, RunTrace, SessionBuilder, SimulationSession,
+    SystemConfig, VertexMemoryKind,
 };
-pub use hyve_graph::{DatasetProfile, Edge, EdgeList, GraphError, GridGraph, Rmat, VertexId};
+pub use hyve_graph::{
+    DatasetProfile, Edge, EdgeList, FlatGrid, GraphError, GridGraph, Rmat, VertexId,
+};
 pub use hyve_memsim::DeviceError;
