@@ -1,0 +1,45 @@
+//! Proves the observability layer is zero-cost when disabled: the same PR
+//! run through an untraced session vs. one with a [`SharedRecorder`]
+//! attached. The untraced path must show no measurable overhead relative to
+//! the pre-trace engine (event emission is gated on a single `Option`
+//! check; the per-block skip counters are two unconditional u64 writes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyve_algorithms::PageRank;
+use hyve_core::{SharedRecorder, SimulationSession, SystemConfig};
+use hyve_graph::{DatasetProfile, GridGraph};
+use std::hint::black_box;
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let graph = DatasetProfile::youtube_scaled().generate(2018);
+    let untraced = SimulationSession::builder(SystemConfig::hyve_opt())
+        .build()
+        .expect("valid");
+    let recorder = SharedRecorder::default();
+    let traced = SimulationSession::builder(SystemConfig::hyve_opt())
+        .with_trace(recorder.clone())
+        .build()
+        .expect("valid");
+    let program = PageRank::new(2);
+    let p = untraced.plan_intervals(&program, graph.num_vertices());
+    let grid = GridGraph::partition(&graph, p).expect("partition");
+
+    let mut group = c.benchmark_group("trace_overhead_pr2_yt");
+    group.sample_size(10);
+    group.bench_function("disabled", |b| {
+        b.iter(|| {
+            let report = untraced.run(&program, black_box(&grid)).expect("run");
+            black_box(report.edges_processed)
+        });
+    });
+    group.bench_function("enabled", |b| {
+        b.iter(|| {
+            let report = traced.run(&program, black_box(&grid)).expect("run");
+            black_box(report.edges_processed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

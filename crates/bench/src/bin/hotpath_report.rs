@@ -277,4 +277,21 @@ fn main() {
         .expect("open trajectory file");
     writeln!(file, "{line}").expect("append trajectory line");
     eprintln!("  geomean speedup {geomean:.2}x -> appended to {out_path}");
+
+    // With HYVE_TRACE_DIR set, also emit a per-iteration trace artifact of
+    // the measured workload so `scripts/bench_report.sh` can attach it next
+    // to the trajectory (tracing is observation-only, so this re-run's
+    // report is bit-identical to the timed ones).
+    if let Some(dir) = std::env::var_os("HYVE_TRACE_DIR") {
+        let (traced, recorder) =
+            workloads::traced_session(workloads::configure(SystemConfig::hyve_opt(), &profile));
+        traced.run(&bfs, &grid).expect("engine run");
+        let path = std::path::Path::new(&dir).join(hyve_bench::report::artifact_name(
+            traced.config().name,
+            "BFS",
+            profile.tag,
+        ));
+        std::fs::write(&path, recorder.artifact().to_jsonl()).expect("write trace artifact");
+        eprintln!("  trace artifact -> {}", path.display());
+    }
 }

@@ -18,6 +18,8 @@ pub enum Command {
     Info(SourceArgs),
     /// `hyve gen ...`
     Gen(GenArgs),
+    /// `hyve report ...`
+    Report(ReportArgs),
     /// `hyve help` / `--help`
     Help,
 }
@@ -59,6 +61,8 @@ pub struct RunArgs {
     pub no_gating: bool,
     /// Worker threads for the simulation (1 = sequential).
     pub threads: usize,
+    /// Write a JSONL trace artifact to this path.
+    pub trace: Option<String>,
 }
 
 /// `hyve compare` arguments.
@@ -96,6 +100,15 @@ pub struct RecommendArgs {
     pub navg: f64,
     /// Objective: latency / energy / edp.
     pub objective: String,
+}
+
+/// `hyve report` arguments: pretty-print one trace artifact, or diff two.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportArgs {
+    /// The artifact to display (JSONL written by `hyve run --trace`).
+    pub artifact: String,
+    /// Optional baseline artifact to diff against.
+    pub baseline: Option<String>,
 }
 
 /// `hyve gen` arguments.
@@ -182,6 +195,32 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
     if cmd == "help" || cmd == "--help" || cmd == "-h" {
         return Ok(Command::Help);
     }
+    if cmd == "report" {
+        // `report` takes positionals (artifact paths), unlike the
+        // flag-only commands.
+        if rest.iter().any(|t| t == "--help") {
+            return Ok(Command::Help);
+        }
+        if let Some(flag) = rest.iter().find(|t| t.starts_with("--")) {
+            return Err(CliError::Usage(format!("unexpected flag '{flag}'")));
+        }
+        return match rest {
+            [artifact] => Ok(Command::Report(ReportArgs {
+                artifact: artifact.clone(),
+                baseline: None,
+            })),
+            [artifact, baseline] => Ok(Command::Report(ReportArgs {
+                artifact: artifact.clone(),
+                baseline: Some(baseline.clone()),
+            })),
+            [] => Err(CliError::Usage(
+                "report needs an artifact path (and optionally a baseline to diff)".into(),
+            )),
+            _ => Err(CliError::Usage(
+                "report takes at most two artifact paths".into(),
+            )),
+        };
+    }
     let map = flags(rest)?;
     if map.contains_key("help") {
         return Ok(Command::Help);
@@ -208,6 +247,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             no_sharing: map.contains_key("no-sharing"),
             no_gating: map.contains_key("no-gating"),
             threads: get_num(&map, "threads", Some(1usize))?,
+            trace: map.get("trace").cloned(),
         })),
         "compare" => Ok(Command::Compare(CompareArgs {
             algorithm: map
@@ -367,5 +407,41 @@ mod tests {
     fn bare_positional_rejected() {
         let err = parse(&argv("run pr")).unwrap_err();
         assert!(err.to_string().contains("unexpected argument"));
+    }
+
+    #[test]
+    fn parses_trace_flag() {
+        match parse(&argv("run --alg pr --dataset yt --trace out.jsonl")).unwrap() {
+            Command::Run(r) => assert_eq!(r.trace.as_deref(), Some("out.jsonl")),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("run --alg pr --dataset yt")).unwrap() {
+            Command::Run(r) => assert_eq!(r.trace, None),
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse(&argv("run --alg pr --dataset yt --trace")).unwrap_err();
+        assert!(err.to_string().contains("needs a value"));
+    }
+
+    #[test]
+    fn parses_report_positionals() {
+        match parse(&argv("report a.jsonl")).unwrap() {
+            Command::Report(r) => {
+                assert_eq!(r.artifact, "a.jsonl");
+                assert_eq!(r.baseline, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("report a.jsonl b.jsonl")).unwrap() {
+            Command::Report(r) => {
+                assert_eq!(r.artifact, "a.jsonl");
+                assert_eq!(r.baseline.as_deref(), Some("b.jsonl"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(parse(&argv("report --help")).unwrap(), Command::Help);
+        assert!(parse(&argv("report")).is_err());
+        assert!(parse(&argv("report a b c")).is_err());
+        assert!(parse(&argv("report --weird a")).is_err());
     }
 }

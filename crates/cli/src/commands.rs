@@ -1,12 +1,13 @@
 //! Command implementations for the `hyve` CLI.
 
 use crate::args::{
-    Command, CompareArgs, GenArgs, GraphSource, RecommendArgs, RunArgs, SourceArgs, SweepArgs,
+    Command, CompareArgs, GenArgs, GraphSource, RecommendArgs, ReportArgs, RunArgs, SourceArgs,
+    SweepArgs,
 };
 use crate::CliError;
 use hyve_algorithms::{Bfs, ConnectedComponents, DegreeCentrality, PageRank, SpMv, Sssp};
 use hyve_baselines::CpuSystem;
-use hyve_core::{RunReport, SimulationSession, SystemConfig};
+use hyve_core::{RunReport, SharedRecorder, SimulationSession, SystemConfig, TraceArtifact};
 use hyve_graph::{block_sparsity, io, DatasetProfile, EdgeList, Rmat, VertexId};
 use hyve_graphr::GraphrEngine;
 use hyve_memsim::CellBits;
@@ -23,6 +24,7 @@ pub fn execute<W: Write>(cmd: Command, out: &mut W) -> Result<(), CliError> {
     match cmd {
         Command::Help => writeln!(out, "{}", crate::USAGE).map_err(io_err),
         Command::Run(args) => run(args, out),
+        Command::Report(args) => report(args, out),
         Command::Compare(args) => compare(args, out),
         Command::Sweep(args) => sweep(args, out),
         Command::Recommend(args) => recommend_cmd(args, out),
@@ -84,11 +86,24 @@ fn config_by_name(name: &str) -> Result<SystemConfig, CliError> {
 /// Builds a session with `threads` workers, surfacing configuration and
 /// thread-count problems as usage errors.
 fn session_for(cfg: SystemConfig, threads: usize) -> Result<SimulationSession, CliError> {
-    let builder = SimulationSession::builder(cfg);
-    let builder = match threads {
+    session_with_trace(cfg, threads, None)
+}
+
+/// Like [`session_for`], but optionally attaches a metrics recorder so the
+/// run emits a trace artifact.
+fn session_with_trace(
+    cfg: SystemConfig,
+    threads: usize,
+    recorder: Option<SharedRecorder>,
+) -> Result<SimulationSession, CliError> {
+    let mut builder = SimulationSession::builder(cfg);
+    builder = match threads {
         1 => builder.sequential(),
         n => builder.parallel(n),
     };
+    if let Some(r) = recorder {
+        builder = builder.with_trace(r);
+    }
     builder.build().map_err(|e| CliError::Usage(e.to_string()))
 }
 
@@ -126,7 +141,8 @@ fn run<W: Write>(args: RunArgs, out: &mut W) -> Result<(), CliError> {
     if args.no_gating {
         cfg = cfg.with_power_gating(false);
     }
-    let session = session_for(cfg, args.threads)?;
+    let recorder = args.trace.as_ref().map(|_| SharedRecorder::default());
+    let session = session_with_trace(cfg, args.threads, recorder.clone())?;
     let report = run_algorithm(&args.algorithm, &session, &graph, args.iterations)?;
     writeln!(out, "graph : {name}").map_err(io_err)?;
     writeln!(out, "{report}").map_err(io_err)?;
@@ -138,7 +154,87 @@ fn run<W: Write>(args: RunArgs, out: &mut W) -> Result<(), CliError> {
         report.elapsed(),
         report.edp().as_j_s(),
     )
-    .map_err(io_err)
+    .map_err(io_err)?;
+    if let (Some(path), Some(recorder)) = (&args.trace, &recorder) {
+        std::fs::write(path, recorder.artifact().to_jsonl())
+            .map_err(|e| CliError::Failed(format!("write {path}: {e}")))?;
+        writeln!(out, "trace : wrote {path}").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Reads and parses a trace artifact from disk.
+fn read_artifact(path: &str) -> Result<TraceArtifact, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Failed(format!("read {path}: {e}")))?;
+    TraceArtifact::from_jsonl(&text).map_err(|e| CliError::Failed(format!("{path}: {e}")))
+}
+
+/// Pretty-prints one artifact's breakdown.
+fn print_artifact<W: Write>(a: &TraceArtifact, out: &mut W) -> Result<(), CliError> {
+    writeln!(out, "algorithm : {} on {}", a.algorithm, a.config).map_err(io_err)?;
+    writeln!(
+        out,
+        "graph     : {} vertices, {} edges ({} intervals, {} PUs)",
+        a.num_vertices, a.num_edges, a.intervals, a.num_pus
+    )
+    .map_err(io_err)?;
+    let processed: u64 = a.iterations.iter().map(|s| s.blocks_processed).sum();
+    let skipped: u64 = a.iterations.iter().map(|s| s.blocks_skipped).sum();
+    writeln!(
+        out,
+        "iterations: {} ({} edge traversals; blocks {} processed / {} skipped)",
+        a.iterations_total, a.edges_processed, processed, skipped
+    )
+    .map_err(io_err)?;
+    writeln!(out, "phases:").map_err(io_err)?;
+    for (label, t) in a.phases.named() {
+        writeln!(out, "  {label:<12} {t}").map_err(io_err)?;
+    }
+    writeln!(out, "channels:").map_err(io_err)?;
+    for c in &a.channels {
+        writeln!(
+            out,
+            "  {:<16} {:>10} reads {:>10} writes  dynamic {:>14}  background {:>14}  busy {}",
+            c.channel.name(),
+            c.stats.reads,
+            c.stats.writes,
+            format!("{}", c.stats.dynamic_energy),
+            format!("{}", c.stats.background_energy),
+            c.stats.busy_time,
+        )
+        .map_err(io_err)?;
+    }
+    if let Some(transitions) = a.gating_transitions {
+        writeln!(out, "gating    : {transitions} sleep/wake transitions").map_err(io_err)?;
+    }
+    if let Some(router) = &a.router {
+        writeln!(
+            out,
+            "router    : {} words moved, {} reroute decisions",
+            router.words, router.reroutes
+        )
+        .map_err(io_err)?;
+    }
+    writeln!(out, "total     : {} | {}", a.total_energy(), a.elapsed()).map_err(io_err)
+}
+
+fn report<W: Write>(args: ReportArgs, out: &mut W) -> Result<(), CliError> {
+    let artifact = read_artifact(&args.artifact)?;
+    print_artifact(&artifact, out)?;
+    if let Some(base_path) = &args.baseline {
+        let baseline = read_artifact(base_path)?;
+        let diff = artifact.diff(&baseline);
+        writeln!(out, "\ndiff vs {base_path}:").map_err(io_err)?;
+        writeln!(out, "{diff}").map_err(io_err)?;
+        writeln!(
+            out,
+            "identical: {}",
+            if diff.is_zero() { "yes" } else { "no" }
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
 }
 
 fn compare<W: Write>(args: CompareArgs, out: &mut W) -> Result<(), CliError> {
@@ -434,6 +530,30 @@ mod tests {
         assert!(s.contains("edge stream:   ReRAM"), "{s}");
         assert!(s.contains("global vertex: DRAM"), "{s}");
         assert!(s.contains("local vertex:  SRAM"), "{s}");
+    }
+
+    #[test]
+    fn trace_and_report_round_trip() {
+        let dir = std::env::temp_dir().join("hyve-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let p = path.to_str().unwrap().to_string();
+        let s = exec(&format!("run --alg bfs --dataset yt --trace {p}")).unwrap();
+        assert!(s.contains("trace : wrote"), "{s}");
+        let s = exec(&format!("report {p}")).unwrap();
+        assert!(s.contains("algorithm : BFS"), "{s}");
+        assert!(s.contains("edge_memory"), "{s}");
+        assert!(s.contains("total     :"), "{s}");
+        let s = exec(&format!("report {p} {p}")).unwrap();
+        assert!(s.contains("identical: yes"), "{s}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn report_failures_are_runtime_not_usage() {
+        let err = exec("report /nonexistent/trace.jsonl").unwrap_err();
+        assert!(matches!(err, CliError::Failed(_)), "{err}");
+        assert_eq!(err.exit_code(), 1);
     }
 
     #[test]

@@ -38,6 +38,18 @@ impl fmt::Display for CliError {
     }
 }
 
+impl CliError {
+    /// Process exit code for this error: `2` for usage errors (matching the
+    /// common Unix convention, e.g. `grep`/`bash`), `1` for runtime failures.
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Failed(_) => 1,
+        }
+    }
+}
+
 impl std::error::Error for CliError {}
 
 /// Parses `argv` (without the program name) and executes the command,
@@ -59,6 +71,8 @@ hyve — Hybrid Vertex-Edge memory hierarchy simulator
 USAGE:
   hyve run       --alg <pr|bfs|cc|sssp|spmv> [--config <name>] (--dataset <tag> | --input <file>)
                  [--iters N] [--seed N] [--sram-mb N] [--no-sharing] [--no-gating] [--threads N]
+                 [--trace <file.jsonl>]
+  hyve report    <artifact.jsonl> [<baseline.jsonl>]
   hyve compare   --alg <name> (--dataset <tag> | --input <file>) [--seed N] [--threads N]
   hyve sweep     --what <sram|cells|density> (--dataset <tag> | --input <file>) [--threads N]
   hyve recommend --vertices N --edges M [--partitions P] [--navg X] [--objective <latency|energy|edp>]
@@ -67,4 +81,7 @@ USAGE:
 
 datasets: yt, wk, as, lj, tw (scaled stand-ins for the paper's Table 2)
 configs : acc-dram, acc-reram, acc-sram-dram, hyve, hyve-opt (default)
+
+`run --trace` records a per-iteration metrics artifact (JSONL); `report`
+pretty-prints one artifact, or diffs two (energy/latency deltas per channel).
 ";

@@ -12,7 +12,7 @@ fn main() -> ExitCode {
             if matches!(e, hyve_cli::CliError::Usage(_)) {
                 eprintln!("\n{}", hyve_cli::USAGE);
             }
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

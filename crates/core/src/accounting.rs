@@ -258,12 +258,20 @@ pub(crate) fn onchip_processing(
     processing
 }
 
+/// Per-iteration router traffic: (32-bit words forwarded between PUs,
+/// reroute steps). Shared by [`router_overhead`] and the trace layer so
+/// the numbers an observer sees are the numbers the ledger was charged
+/// for.
+pub(crate) fn router_traffic(w: &Workload) -> (u64, u64) {
+    let steps = u64::from(w.s * w.s) * u64::from(w.n);
+    (w.traversals() * w.words_per_value, steps)
+}
+
 /// Router pass: reroute per step, hop energy on every shared source read
 /// (§4.2). Returns the per-iteration rerouting overhead time.
 pub(crate) fn router_overhead(router: &Router, w: &Workload, ledgers: &mut Ledgers) -> Time {
-    let steps = u64::from(w.s * w.s) * u64::from(w.n);
-    let hop = router.hop_energy_per_word() * (w.traversals() * w.words_per_value) as f64
-        + router.reroute_energy() * steps as f64;
+    let (words, steps) = router_traffic(w);
+    let hop = router.hop_energy_per_word() * words as f64 + router.reroute_energy() * steps as f64;
     ledgers.logic.record_read(0, hop, Time::ZERO);
     router.reroute_latency() * steps as f64
 }

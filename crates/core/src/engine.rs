@@ -30,6 +30,7 @@ use crate::exec::{fan_out_mut, BlockPlan, ExecutionStrategy};
 use crate::hierarchy::{HierarchyInstance, HierarchySpec};
 use crate::pu::ProcessingUnit;
 use crate::stats::{PhaseTimes, RunReport, RunTrace};
+use crate::trace::{SharedSink, TraceChannel, TraceEvent};
 use hyve_algorithms::{EdgeProgram, ExecutionMode, GraphMeta, IterationBound};
 use hyve_graph::{EdgeList, FlatGrid, GridGraph, VertexId};
 use hyve_memsim::Time;
@@ -65,6 +66,13 @@ struct PuScratch<V> {
     /// when every block was skipped or empty and the lazy snapshot copy was
     /// elided; the reduce ignores inactive PUs.
     active: bool,
+    /// Non-empty blocks this PU walked in the current iteration. Always
+    /// maintained (two `u64` writes per block — the `trace_overhead` bench
+    /// pins this as unmeasurable); only *read* when a trace sink is
+    /// attached.
+    blocks_processed: u64,
+    /// Non-empty blocks this PU elided via dirty-interval skipping.
+    blocks_skipped: u64,
 }
 
 /// Whether `new` counts as a change against `old` for convergence and
@@ -204,7 +212,7 @@ impl Engine {
         program: &P,
         grid: &GridGraph,
     ) -> Result<(RunReport, Vec<P::Value>), CoreError> {
-        self.run_traced(program, grid, ExecutionStrategy::Sequential, true)
+        self.run_traced(program, grid, ExecutionStrategy::Sequential, true, None)
             .map(|(report, values, _)| (report, values))
     }
 
@@ -218,6 +226,11 @@ impl Engine {
     /// (see [`functional_run`](Self::functional_run)); it is a pure
     /// optimisation toggle — results are bit-identical either way.
     ///
+    /// `sink` is the optional trace receiver. Tracing is observation-only:
+    /// every emitted [`TraceEvent`] copies values this function computed
+    /// anyway, so reports and values are bit-identical with or without a
+    /// sink (the golden suite pins this).
+    ///
     /// # Errors
     ///
     /// [`CoreError::Unschedulable`] when the grid's interval count is below
@@ -228,6 +241,7 @@ impl Engine {
         grid: &GridGraph,
         strategy: ExecutionStrategy,
         skip_clean: bool,
+        sink: Option<&SharedSink>,
     ) -> Result<(RunReport, Vec<P::Value>, RunTrace), CoreError> {
         let n = self.config.num_pus;
         let p = grid.num_intervals();
@@ -254,12 +268,57 @@ impl Engine {
             out_degrees: flat.out_degrees().to_vec(),
         };
 
+        if let Some(sink) = sink {
+            sink.record(&TraceEvent::RunStart {
+                algorithm: program.name(),
+                config: self.config.name,
+                num_vertices: grid.num_vertices(),
+                num_edges: grid.num_edges(),
+                intervals: p,
+                num_pus: n,
+            });
+        }
+
         // ---- functional pass -------------------------------------------
-        let (values, trace) =
-            self.functional_run(program, grid, flat, &meta, &plan, strategy, skip_clean);
+        let (values, trace) = self.functional_run(
+            program, grid, flat, &meta, &plan, strategy, skip_clean, sink,
+        );
 
         // ---- cost pass --------------------------------------------------
-        let report = self.account(program, grid, trace.iterations, &trace.changed, &plan);
+        let w = Workload::for_run(program, grid, &plan, self.config.num_pus);
+        let report = self.account(program, trace.iterations, &w);
+
+        if let Some(sink) = sink {
+            sink.record(&TraceEvent::Phases {
+                phases: report.phases,
+            });
+            let b = &report.breakdown;
+            for (channel, stats) in [
+                (TraceChannel::EdgeMemory, b.edge_memory),
+                (TraceChannel::OffchipVertex, b.offchip_vertex),
+                (TraceChannel::OnchipVertex, b.onchip_vertex),
+                (TraceChannel::Logic, b.logic),
+            ] {
+                sink.record(&TraceEvent::ChannelLedger { channel, stats });
+            }
+            if let Some(gating) = self.hierarchy.gating() {
+                sink.record(&TraceEvent::GatingTransitions {
+                    transitions: gating.transitions(w.edge_bits, trace.iterations),
+                });
+            }
+            if self.hierarchy.router().is_some() {
+                let (words, reroutes) = accounting::router_traffic(&w);
+                let iters = u64::from(trace.iterations);
+                sink.record(&TraceEvent::RouterTraffic {
+                    words: words * iters,
+                    reroutes: reroutes * iters,
+                });
+            }
+            sink.record(&TraceEvent::RunEnd {
+                iterations: report.iterations,
+                edges_processed: report.edges_processed,
+            });
+        }
         Ok((report, values, trace))
     }
 
@@ -342,6 +401,7 @@ impl Engine {
         plan: &BlockPlan,
         strategy: ExecutionStrategy,
         skip_clean: bool,
+        sink: Option<&SharedSink>,
     ) -> (Vec<P::Value>, RunTrace) {
         let nv = meta.num_vertices as usize;
         let p = flat.num_intervals() as usize;
@@ -360,6 +420,8 @@ impl Engine {
                 values: vec![program.identity(); nv],
                 touched: vec![false; p],
                 active: false,
+                blocks_processed: 0,
+                blocks_skipped: 0,
             })
             .collect();
         // Iteration 1 scans every block — unless the program guarantees
@@ -389,6 +451,9 @@ impl Engine {
             fan_out_mut(strategy, &mut scratch, |pu, scratch| match mode {
                 ExecutionMode::Accumulate => {
                     scratch.active = true;
+                    // Accumulate mode walks every block unconditionally.
+                    scratch.blocks_processed = plan.blocks(pu).len() as u64;
+                    scratch.blocks_skipped = 0;
                     scratch.values.fill(program.identity());
                     let acc = &mut scratch.values;
                     for &(src, dst) in plan.blocks(pu) {
@@ -405,6 +470,8 @@ impl Engine {
                 }
                 ExecutionMode::Monotone => {
                     scratch.active = false;
+                    scratch.blocks_processed = 0;
+                    scratch.blocks_skipped = 0;
                     scratch.touched.fill(false);
                     for &(src, dst) in plan.blocks(pu) {
                         let range = flat.block_range(src, dst);
@@ -416,8 +483,10 @@ impl Engine {
                         let clean =
                             src_clean && (!undirected || (!dirty_now[di] && !scratch.touched[di]));
                         if skip_clean && clean {
+                            scratch.blocks_skipped += 1;
                             continue;
                         }
+                        scratch.blocks_processed += 1;
                         if !scratch.active {
                             // Lazy snapshot copy: deferred past skipped and
                             // empty blocks so a quiescent PU never pays it.
@@ -491,6 +560,14 @@ impl Engine {
                 }
             }
             changed_flags.push(changed);
+            if let Some(sink) = sink {
+                sink.record(&TraceEvent::IterationEnd {
+                    iteration: iterations,
+                    changed,
+                    blocks_processed: scratch.iter().map(|s| s.blocks_processed).sum(),
+                    blocks_skipped: scratch.iter().map(|s| s.blocks_skipped).sum(),
+                });
+            }
             std::mem::swap(&mut dirty, &mut dirty_next);
             if matches!(bound, IterationBound::Converge { .. }) && !changed {
                 break;
@@ -512,16 +589,9 @@ impl Engine {
     /// Every iteration makes exactly the same accesses (§7.1), so the
     /// passes run once and the ledgers scale by the iteration count the
     /// functional run produced.
-    fn account<P: EdgeProgram>(
-        &self,
-        program: &P,
-        grid: &GridGraph,
-        iterations: u32,
-        _changed: &[bool],
-        plan: &BlockPlan,
-    ) -> RunReport {
+    fn account<P: EdgeProgram>(&self, program: &P, iterations: u32, w: &Workload) -> RunReport {
         let hierarchy = &self.hierarchy;
-        let w = Workload::for_run(program, grid, plan, self.config.num_pus);
+        let w = *w;
         let mut ledgers = hierarchy.ledgers();
 
         let edge = accounting::edge_stream(hierarchy.edge(), &w);
@@ -820,10 +890,10 @@ mod tests {
                 t => ExecutionStrategy::Parallel { threads: t },
             };
             let (fast_report, fast_values, fast_trace) = engine
-                .run_traced(&Sssp::new(VertexId::new(0)), &grid, strategy, true)
+                .run_traced(&Sssp::new(VertexId::new(0)), &grid, strategy, true, None)
                 .unwrap();
             let (full_report, full_values, full_trace) = engine
-                .run_traced(&Sssp::new(VertexId::new(0)), &grid, strategy, false)
+                .run_traced(&Sssp::new(VertexId::new(0)), &grid, strategy, false, None)
                 .unwrap();
             assert_eq!(fast_report, full_report);
             assert_eq!(fast_values, full_values);

@@ -391,6 +391,13 @@ impl EdgeGating {
         EdgeGating { gating, map }
     }
 
+    /// Sleep/wake transition pairs charged over a run: one per bank the
+    /// edge data spans (§3.4's sequential layout), per iteration. The
+    /// trace layer reports exactly this number.
+    pub(crate) fn transitions(&self, edge_bits: u64, iterations: u32) -> u64 {
+        self.map.banks_spanned(edge_bits.div_ceil(8)) * u64::from(iterations)
+    }
+
     /// Gated background energy of the edge channel over `total_time`, for
     /// edge data of `edge_bits` scanned once per iteration.
     pub(crate) fn background_energy(
@@ -399,12 +406,8 @@ impl EdgeGating {
         edge_bits: u64,
         iterations: u32,
     ) -> Energy {
-        let transitions_per_iter = self.map.banks_spanned(edge_bits.div_ceil(8));
-        self.gating.gated_energy(
-            total_time,
-            transitions_per_iter * u64::from(iterations),
-            1.0,
-        )
+        self.gating
+            .gated_energy(total_time, self.transitions(edge_bits, iterations), 1.0)
     }
 }
 

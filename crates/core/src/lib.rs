@@ -20,7 +20,13 @@
 //! * [`Router`] — the N×N pipelined router that implements inter-PU data
 //!   sharing (§4.2, Fig. 7),
 //! * bank-level power gating of the nonvolatile edge memory (§4.1),
-//! * [`RunReport`] — energy/time accounting with the Fig. 17 breakdown.
+//! * [`RunReport`] — energy/time accounting with the Fig. 17 breakdown,
+//! * [`trace`] — structured observability: typed [`TraceEvent`]s fed to a
+//!   [`TraceSink`] attached via
+//!   [`SessionBuilder::with_trace`](session::SessionBuilder::with_trace),
+//!   aggregated by [`MetricsRecorder`] into a versioned JSONL
+//!   [`TraceArtifact`]. Zero-cost when disabled, and observation never
+//!   perturbs accounting (golden reports are bit-identical either way).
 //!
 //! ```
 //! use hyve_core::{SimulationSession, SystemConfig};
@@ -51,6 +57,7 @@ pub mod router;
 pub mod schedule;
 pub mod session;
 pub mod stats;
+pub mod trace;
 pub mod workflow;
 
 pub use config::{EdgeMemoryKind, SystemConfig, VertexMemoryKind};
@@ -66,4 +73,8 @@ pub use router::Router;
 pub use schedule::{Assignment, SuperBlockSchedule};
 pub use session::{SessionBuilder, SimulationSession};
 pub use stats::{EnergyBreakdown, PhaseTimes, RunReport, RunTrace};
+pub use trace::{
+    MetricsRecorder, SharedRecorder, SharedSink, TraceArtifact, TraceChannel, TraceDiff,
+    TraceEvent, TraceSink,
+};
 pub use workflow::WorkingFlow;

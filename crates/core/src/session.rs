@@ -35,6 +35,7 @@ use crate::error::CoreError;
 use crate::exec::{fan_out, ExecutionStrategy};
 use crate::hierarchy::HierarchyInstance;
 use crate::stats::{RunReport, RunTrace};
+use crate::trace::{SharedSink, TraceSink};
 use hyve_algorithms::EdgeProgram;
 use hyve_graph::{EdgeList, GridGraph};
 
@@ -47,6 +48,7 @@ pub struct SessionBuilder {
     config: SystemConfig,
     strategy: ExecutionStrategy,
     dirty_skipping: bool,
+    sink: Option<SharedSink>,
 }
 
 impl SessionBuilder {
@@ -65,6 +67,22 @@ impl SessionBuilder {
     /// equivalence (as the proptest suite does).
     pub fn dirty_interval_skipping(mut self, enabled: bool) -> Self {
         self.dirty_skipping = enabled;
+        self
+    }
+
+    /// Attaches a [`TraceSink`]: every run of the built session feeds it
+    /// typed [`TraceEvent`](crate::TraceEvent)s — iteration summaries,
+    /// phase times, per-channel ledgers, gating transitions, router
+    /// traffic. Tracing is observation-only: reports and values are
+    /// bit-identical with or without a sink, and with no sink attached the
+    /// run path is unchanged (see the `trace_overhead` bench).
+    ///
+    /// Pass a [`SharedRecorder`](crate::SharedRecorder) clone to collect a
+    /// [`TraceArtifact`](crate::TraceArtifact) you can read back after the
+    /// run. [`sweep`](SimulationSession::sweep) runs stay untraced — a
+    /// sweep point builds its own engine per configuration.
+    pub fn with_trace(mut self, sink: impl TraceSink + 'static) -> Self {
+        self.sink = Some(SharedSink::new(sink));
         self
     }
 
@@ -97,6 +115,7 @@ impl SessionBuilder {
             engine,
             strategy: self.strategy,
             dirty_skipping: self.dirty_skipping,
+            sink: self.sink,
         })
     }
 }
@@ -110,6 +129,7 @@ pub struct SimulationSession {
     engine: Engine,
     strategy: ExecutionStrategy,
     dirty_skipping: bool,
+    sink: Option<SharedSink>,
 }
 
 impl SimulationSession {
@@ -119,6 +139,7 @@ impl SimulationSession {
             config,
             strategy: ExecutionStrategy::Sequential,
             dirty_skipping: true,
+            sink: None,
         }
     }
 
@@ -187,8 +208,13 @@ impl SimulationSession {
         program: &P,
         grid: &GridGraph,
     ) -> Result<(RunReport, Vec<P::Value>, RunTrace), CoreError> {
-        self.engine
-            .run_traced(program, grid, self.strategy, self.dirty_skipping)
+        self.engine.run_traced(
+            program,
+            grid,
+            self.strategy,
+            self.dirty_skipping,
+            self.sink.as_ref(),
+        )
     }
 
     /// Partitions the edge list with the planned interval count and runs.
@@ -263,6 +289,10 @@ impl SimulationSession {
                         &grid,
                         ExecutionStrategy::Sequential,
                         self.dirty_skipping,
+                        // Sweep points stay untraced: each builds its own
+                        // engine, and interleaved event streams from
+                        // concurrent configurations would be unattributable.
+                        None,
                     )
                     .map(|(report, _, _)| report)
             });
@@ -344,6 +374,73 @@ mod tests {
                 .unwrap();
             assert_eq!(*report, lone, "{}", cfg.name);
         }
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_recorder_matches_report() {
+        use crate::trace::{SharedRecorder, TraceChannel};
+        let g = graph();
+        let plain = SimulationSession::builder(SystemConfig::hyve_opt())
+            .build()
+            .unwrap();
+        let (plain_report, plain_values) = plain
+            .run_on_edge_list_with_values(&Bfs::new(VertexId::new(0)), &g)
+            .unwrap();
+
+        let recorder = SharedRecorder::new();
+        let traced = SimulationSession::builder(SystemConfig::hyve_opt())
+            .with_trace(recorder.clone())
+            .build()
+            .unwrap();
+        let (traced_report, traced_values) = traced
+            .run_on_edge_list_with_values(&Bfs::new(VertexId::new(0)), &g)
+            .unwrap();
+        assert_eq!(traced_report, plain_report, "tracing must not perturb");
+        assert_eq!(traced_values, plain_values);
+
+        let a = recorder.artifact();
+        assert_eq!(a.algorithm, plain_report.algorithm);
+        assert_eq!(a.config, plain_report.config);
+        assert_eq!(a.iterations_total, plain_report.iterations);
+        assert_eq!(a.edges_processed, plain_report.edges_processed);
+        assert_eq!(a.intervals, plain_report.intervals);
+        assert_eq!(a.iterations.len() as u32, plain_report.iterations);
+        assert_eq!(a.phases, plain_report.phases);
+        assert_eq!(a.channels.len(), 4);
+        let edge = a
+            .channels
+            .iter()
+            .find(|c| c.channel == TraceChannel::EdgeMemory)
+            .unwrap();
+        assert_eq!(edge.stats, plain_report.breakdown.edge_memory);
+        // hyve_opt gates the edge channel and shares through the router.
+        assert!(a.gating_transitions.is_some());
+        assert!(a.router.is_some());
+        // Iterations are 1-based and the last one converged (no change).
+        assert_eq!(a.iterations[0].iteration, 1);
+        assert!(!a.iterations.last().unwrap().changed);
+        assert!(a.iterations[0].blocks_processed > 0);
+    }
+
+    #[test]
+    fn dirty_skipping_shows_up_in_trace_skip_counts() {
+        use crate::trace::SharedRecorder;
+        let g = graph();
+        let recorder = SharedRecorder::new();
+        let session = SimulationSession::builder(SystemConfig::hyve_opt())
+            .with_trace(recorder.clone())
+            .build()
+            .unwrap();
+        session
+            .run_on_edge_list(&Bfs::new(VertexId::new(0)), &g)
+            .unwrap();
+        let skipped: u64 = recorder
+            .artifact()
+            .iterations
+            .iter()
+            .map(|s| s.blocks_skipped)
+            .sum();
+        assert!(skipped > 0, "BFS opts into skipping; some blocks must skip");
     }
 
     #[test]

@@ -101,6 +101,17 @@ impl PhaseTimes {
     pub fn total(&self) -> Time {
         self.loading + self.processing + self.updating + self.overhead
     }
+
+    /// The four phases with their stable names, in schedule order — the
+    /// shape trace serialization and report pretty-printers iterate over.
+    pub fn named(&self) -> [(&'static str, Time); 4] {
+        [
+            ("loading", self.loading),
+            ("processing", self.processing),
+            ("updating", self.updating),
+            ("overhead", self.overhead),
+        ]
+    }
 }
 
 /// Complete result of an engine run.

@@ -204,6 +204,17 @@ impl DynamicGrid {
     fn add_edge(&mut self, e: Edge) -> Result<MutationOutcome, GraphError> {
         self.check_vertex(e.src.raw())?;
         self.check_vertex(e.dst.raw())?;
+        // A tombstoned endpoint would silently resurrect: the edge lands in a
+        // block and the degree counter ticks up, but the vertex's value stays
+        // invalid — breaking the "tombstoned ⇒ degree 0" bookkeeping that
+        // vertex deletion relies on. Reject instead.
+        for v in [e.src, e.dst] {
+            if self.is_tombstoned(v) {
+                return Err(GraphError::MutationFailed {
+                    message: format!("vertex {} is deleted", v.raw()),
+                });
+            }
+        }
         let (bs, bd) = (self.interval_of(e.src.raw()), self.interval_of(e.dst.raw()));
         let fit = self.grid.block_at_mut(bs, bd).push_edge(e);
         self.grid.add_edge_count(1);
@@ -279,6 +290,66 @@ impl DynamicGrid {
             self.repartitions += 1;
             Ok(MutationOutcome::Repartitioned)
         }
+    }
+
+    /// Checks the structure's internal bookkeeping invariants:
+    ///
+    /// * `tombstones` and `degrees` cover exactly the logical vertex range;
+    /// * the grid never materialises more vertices than are logically present;
+    /// * per-block edge counts sum to the grid's edge count;
+    /// * every tombstoned vertex has degree 0;
+    /// * every live vertex's maintained degree equals its endpoint count over
+    ///   the grid's stored edges (inert edges to tombstoned neighbours
+    ///   included — they stay in their blocks, §5).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::MutationFailed`] describing the first violation found.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let fail = |message: String| Err(GraphError::MutationFailed { message });
+        let n = self.logical_vertices as usize;
+        if self.tombstones.len() != n || self.degrees.len() != n {
+            return fail(format!(
+                "bookkeeping length mismatch: {} tombstones / {} degrees for {n} vertices",
+                self.tombstones.len(),
+                self.degrees.len()
+            ));
+        }
+        if self.grid.num_vertices() > self.logical_vertices {
+            return fail(format!(
+                "grid materialises {} vertices but only {} are logical",
+                self.grid.num_vertices(),
+                self.logical_vertices
+            ));
+        }
+        let stored: u64 = self.grid.blocks().map(|b| b.len() as u64).sum();
+        if stored != self.grid.num_edges() {
+            return fail(format!(
+                "blocks hold {stored} edges but the grid counts {}",
+                self.grid.num_edges()
+            ));
+        }
+        let mut hits = vec![0u32; n];
+        for e in self.grid.iter_edges() {
+            hits[e.src.index()] += 1;
+            hits[e.dst.index()] += 1;
+        }
+        for (v, &hit) in hits.iter().enumerate() {
+            if self.tombstones[v] {
+                if self.degrees[v] != 0 {
+                    return fail(format!(
+                        "tombstoned vertex {v} has nonzero degree {}",
+                        self.degrees[v]
+                    ));
+                }
+            } else if self.degrees[v] != hit {
+                return fail(format!(
+                    "vertex {v} degree {} disagrees with {hit} stored endpoints",
+                    self.degrees[v]
+                ));
+            }
+        }
+        Ok(())
     }
 
     fn remove_vertex(&mut self, v: VertexId) -> Result<MutationOutcome, GraphError> {
@@ -371,6 +442,34 @@ mod tests {
             assert_ne!(e.src.raw(), 4);
             assert_ne!(e.dst.raw(), 4);
         }
+    }
+
+    #[test]
+    fn add_edge_to_tombstoned_vertex_is_rejected() {
+        let mut d = make(4);
+        d.apply(Mutation::RemoveVertex(VertexId::new(4))).unwrap();
+        let before = d.grid().num_edges();
+        // Either endpoint being dead must reject the add…
+        assert!(d.apply(Mutation::AddEdge(Edge::new(4, 0))).is_err());
+        assert!(d.apply(Mutation::AddEdge(Edge::new(0, 4))).is_err());
+        // …without touching the grid or the degree bookkeeping.
+        assert_eq!(d.grid().num_edges(), before);
+        assert_eq!(d.degree(VertexId::new(4)), 0);
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_accepts_every_mutation_outcome() {
+        let mut d = make(4);
+        d.validate().unwrap();
+        d.apply(Mutation::AddEdge(Edge::new(6, 1))).unwrap();
+        d.apply(Mutation::RemoveVertex(VertexId::new(2))).unwrap();
+        d.apply(Mutation::RemoveEdge { src: 3, dst: 4 }).unwrap();
+        for _ in 0..3 {
+            d.apply(Mutation::AddVertex).unwrap();
+        }
+        assert_eq!(d.repartitions(), 1);
+        d.validate().unwrap();
     }
 
     #[test]

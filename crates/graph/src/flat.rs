@@ -66,6 +66,12 @@ impl FlatGrid {
                 src.push(e.src.raw());
                 dst.push(e.dst.raw());
                 weight.push(e.weight);
+                // Dynamic updates may append edges whose endpoints live in
+                // reserved padding slots beyond the materialised vertex
+                // count; grow rather than panic on those.
+                if e.src.index() >= out_degrees.len() {
+                    out_degrees.resize(e.src.index() + 1, 0);
+                }
                 out_degrees[e.src.index()] += 1;
             }
             offsets.push(src.len());

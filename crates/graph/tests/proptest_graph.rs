@@ -116,15 +116,21 @@ proptest! {
         let mut model: Vec<(u32, u32)> =
             g.iter().map(|e| (e.src.raw(), e.dst.raw())).collect();
         let mut model_nv = g.num_vertices();
+        let mut dead = std::collections::HashSet::new();
 
         for (kind, a, b) in ops {
             match kind {
                 0 => {
                     let (src, dst) = (a % model_nv, b % model_nv);
-                    prop_assert!(dynamic
-                        .apply(Mutation::AddEdge(Edge::new(src, dst)))
-                        .is_ok());
-                    model.push((src, dst));
+                    let got = dynamic.apply(Mutation::AddEdge(Edge::new(src, dst)));
+                    if dead.contains(&src) || dead.contains(&dst) {
+                        // Deleted endpoints reject the add, leaving the
+                        // stored edge set untouched.
+                        prop_assert!(got.is_err());
+                    } else {
+                        prop_assert!(got.is_ok());
+                        model.push((src, dst));
+                    }
                 }
                 1 => {
                     let (src, dst) = (a % model_nv, b % model_nv);
@@ -149,6 +155,7 @@ proptest! {
                         prop_assert!(dynamic
                             .apply(Mutation::RemoveVertex(VertexId::new(v)))
                             .is_ok());
+                        dead.insert(v);
                     }
                 }
             }

@@ -184,7 +184,11 @@ impl GatingTracker {
         for slot in &mut self.last_access {
             if let Some(last) = *slot {
                 let gate_at = last + timeout;
-                if gate_at <= at {
+                // Strict `<`: an access arriving *exactly* at the deadline
+                // finds the bank still powered. Gating on `==` would charge
+                // a spurious sleep+wake pair (and an extra transition) for
+                // an access the idle-timeout policy is meant to keep cheap.
+                if gate_at < at {
                     // Powered from `now` until gate_at, then off.
                     let powered = (gate_at - self.now).max(Time::ZERO);
                     self.powered_energy += self.bank_leakage * powered + self.config.sleep_energy;
@@ -280,6 +284,33 @@ mod tests {
         // + 10 pJ wake + 5 pJ sleep.
         assert!(
             (energy.as_pj() - 165.0).abs() < 1e-9,
+            "got {}",
+            energy.as_pj()
+        );
+    }
+
+    #[test]
+    fn tracker_access_at_exact_deadline_keeps_bank_awake() {
+        // Regression: an access arriving exactly when the idle timeout
+        // expires (`gate_at == at`) must find the bank still powered. The
+        // pre-fix tracker gated the bank in `settle_until` and immediately
+        // re-woke it, charging sleep + wake + an extra transition (130 pJ,
+        // 2 transitions instead of 115 pJ, 1 transition below).
+        let cfg = PowerGatingConfig {
+            idle_timeout: Time::from_ns(100.0),
+            wake_latency: Time::from_ns(10.0),
+            wake_energy: Energy::from_pj(10.0),
+            sleep_energy: Energy::from_pj(5.0),
+        };
+        let leak = Power::from_mw(1.0); // 1 pJ/ns
+        let mut t = GatingTracker::new(cfg, 2, leak);
+        t.access(0, Time::ZERO);
+        t.access(0, Time::from_ns(100.0)); // exactly at the gate deadline
+        let (energy, transitions) = t.finish(Time::from_ns(100.0));
+        assert_eq!(transitions, 1, "boundary access must not re-wake");
+        // 10 pJ wake + 100 ns leak + 5 pJ sleep at finish.
+        assert!(
+            (energy.as_pj() - 115.0).abs() < 1e-9,
             "got {}",
             energy.as_pj()
         );

@@ -7,10 +7,17 @@
 # Usage: scripts/bench_report.sh [output-file]
 # Env:   HYVE_BENCH_SMALL=1 switches from the largest dataset (TW) to YT
 #        for quick CI runs.
+#        HYVE_TRACE_DIR=<dir> additionally writes per-iteration trace
+#        artifacts (JSONL, inspect with `hyve report`) next to the
+#        trajectory.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_hotpath.json}"
+
+if [ -n "${HYVE_TRACE_DIR:-}" ]; then
+  mkdir -p "$HYVE_TRACE_DIR"
+fi
 
 HOTPATH_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 HOTPATH_UTC="$(date -u +%Y-%m-%dT%H:%M:%SZ)"

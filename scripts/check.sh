@@ -28,4 +28,16 @@ cargo test --workspace -q
 echo "==> golden reports"
 cargo test -q --test golden_reports
 
+echo "==> trace smoke (run --trace, report, self-diff)"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+./target/release/hyve-cli run --alg pr --dataset yt --iters 3 \
+  --trace "$trace_dir/smoke.jsonl" >/dev/null
+./target/release/hyve-cli report "$trace_dir/smoke.jsonl" >/dev/null
+./target/release/hyve-cli report "$trace_dir/smoke.jsonl" "$trace_dir/smoke.jsonl" \
+  | grep -q "identical: yes" || {
+    echo "trace self-diff reported nonzero deltas" >&2
+    exit 1
+  }
+
 echo "All checks passed."

@@ -20,8 +20,9 @@ pub use hyve_algorithms::{
 };
 pub use hyve_core::{
     CoreError, EdgeMemoryKind, EnergyBreakdown, ExecutionStrategy, HierarchyInstance,
-    HierarchySpec, PhaseTimes, RunReport, RunTrace, SessionBuilder, SimulationSession,
-    SystemConfig, VertexMemoryKind,
+    HierarchySpec, MetricsRecorder, PhaseTimes, RunReport, RunTrace, SessionBuilder,
+    SharedRecorder, SimulationSession, SystemConfig, TraceArtifact, TraceChannel, TraceDiff,
+    TraceEvent, TraceSink, VertexMemoryKind,
 };
 pub use hyve_graph::{
     DatasetProfile, Edge, EdgeList, FlatGrid, GraphError, GridGraph, Rmat, VertexId,

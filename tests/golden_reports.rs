@@ -88,14 +88,14 @@ fn serialize(report: &RunReport) -> String {
     line
 }
 
-fn capture() -> Vec<String> {
+fn capture(traced: bool) -> Vec<String> {
     let graph = DatasetProfile::youtube_scaled().generate(SEED);
     let mut lines = Vec::new();
     for cfg in configs() {
         for report in [
-            run(&cfg, &PageRank::new(10), &graph),
-            run(&cfg, &Bfs::new(VertexId::new(0)), &graph),
-            run(&cfg, &Sssp::new(VertexId::new(0)), &graph),
+            run(&cfg, &PageRank::new(10), &graph, traced),
+            run(&cfg, &Bfs::new(VertexId::new(0)), &graph, traced),
+            run(&cfg, &Sssp::new(VertexId::new(0)), &graph, traced),
         ] {
             lines.push(serialize(&report));
         }
@@ -103,8 +103,17 @@ fn capture() -> Vec<String> {
     lines
 }
 
-fn run<P: EdgeProgram>(cfg: &SystemConfig, program: &P, graph: &EdgeList) -> RunReport {
-    SimulationSession::builder(cfg.clone())
+fn run<P: EdgeProgram>(
+    cfg: &SystemConfig,
+    program: &P,
+    graph: &EdgeList,
+    traced: bool,
+) -> RunReport {
+    let mut builder = SimulationSession::builder(cfg.clone());
+    if traced {
+        builder = builder.with_trace(SharedRecorder::default());
+    }
+    builder
         .build()
         .expect("preset configuration is valid")
         .run_on_edge_list(program, graph)
@@ -113,7 +122,7 @@ fn run<P: EdgeProgram>(cfg: &SystemConfig, program: &P, graph: &EdgeList) -> Run
 
 #[test]
 fn run_reports_match_pre_refactor_baselines() {
-    let lines = capture();
+    let lines = capture(false);
     let path = golden_path();
     if std::env::var_os("HYVE_GOLDEN_BLESS").is_some() {
         std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
@@ -121,6 +130,20 @@ fn run_reports_match_pre_refactor_baselines() {
         std::fs::write(&path, lines.join("\n") + "\n").expect("write golden file");
         return;
     }
+    check_against_golden(&lines);
+}
+
+/// Attaching a trace sink is observation only: the same runs with a
+/// [`SharedRecorder`] listening must match the SAME baselines, bit for bit.
+/// This test never blesses — it exists to catch tracing perturbing the
+/// cost model.
+#[test]
+fn run_reports_with_tracing_enabled_match_same_baselines() {
+    check_against_golden(&capture(true));
+}
+
+fn check_against_golden(lines: &[String]) {
+    let path = golden_path();
     let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         panic!(
             "missing golden baselines at {} ({e}); regenerate with \
