@@ -24,6 +24,7 @@ use hyve_graph::{Edge, VertexId};
 pub struct PageRank {
     iterations: u32,
     damping: f32,
+    tolerance: Option<f32>,
 }
 
 impl PageRank {
@@ -32,6 +33,7 @@ impl PageRank {
         PageRank {
             iterations,
             damping: 0.85,
+            tolerance: None,
         }
     }
 
@@ -52,6 +54,29 @@ impl PageRank {
     /// The damping factor.
     pub fn damping(&self) -> f32 {
         self.damping
+    }
+
+    /// Switches from the paper's fixed-iteration schedule to convergence
+    /// detection: an iteration that moves no vertex's rank by more than
+    /// `tolerance` is the last one, and the iteration count becomes a cap.
+    /// A cap too tight for the requested tolerance surfaces as a
+    /// `MaxIterationsExceeded` session error carrying the partial report
+    /// (a `tolerance` of `0.0` demands an exact fixed point, which real
+    /// graphs do not reach in a few iterations — the error path's natural
+    /// test input).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tolerance` is negative or NaN.
+    pub fn with_tolerance(mut self, tolerance: f32) -> Self {
+        assert!(tolerance >= 0.0, "tolerance must be non-negative");
+        self.tolerance = Some(tolerance);
+        self
+    }
+
+    /// The convergence tolerance, when set.
+    pub fn tolerance(&self) -> Option<f32> {
+        self.tolerance
     }
 }
 
@@ -74,7 +99,12 @@ impl EdgeProgram for PageRank {
     }
 
     fn bound(&self) -> IterationBound {
-        IterationBound::Fixed(self.iterations)
+        match self.tolerance {
+            Some(_) => IterationBound::Converge {
+                max: self.iterations,
+            },
+            None => IterationBound::Fixed(self.iterations),
+        }
     }
 
     /// A stored PR vertex carries its rank *and* its out-degree (the
@@ -106,8 +136,15 @@ impl EdgeProgram for PageRank {
         current + message
     }
 
-    fn apply(&self, _v: VertexId, acc: f32, _prev: f32, meta: &GraphMeta) -> f32 {
-        (1.0 - self.damping) / meta.num_vertices as f32 + self.damping * acc
+    fn apply(&self, _v: VertexId, acc: f32, prev: f32, meta: &GraphMeta) -> f32 {
+        let next = (1.0 - self.damping) / meta.num_vertices as f32 + self.damping * acc;
+        match self.tolerance {
+            // Holding the previous rank when the step is within tolerance
+            // makes "no vertex changed" exactly the convergence criterion
+            // the engine's changed-flag already detects.
+            Some(tol) if (next - prev).abs() <= tol => prev,
+            _ => next,
+        }
     }
 }
 
@@ -158,8 +195,41 @@ mod tests {
         let pr = PageRank::default();
         assert_eq!(pr.bound(), IterationBound::Fixed(10));
         assert_eq!(pr.damping(), 0.85);
+        assert_eq!(pr.tolerance(), None);
         assert_eq!(pr.name(), "PR");
         assert_eq!(pr.value_bits(), 64);
         assert_eq!(pr.mode(), ExecutionMode::Accumulate);
+    }
+
+    #[test]
+    fn tolerance_switches_to_convergence_bound() {
+        let pr = PageRank::new(50).with_tolerance(1e-6);
+        assert_eq!(pr.bound(), IterationBound::Converge { max: 50 });
+        assert_eq!(pr.tolerance(), Some(1e-6));
+    }
+
+    #[test]
+    fn loose_tolerance_converges_before_the_cap() {
+        let edges = [Edge::new(0, 1), Edge::new(1, 0)];
+        let meta = GraphMeta::from_edges(2, &edges);
+        let run = run_in_memory(&PageRank::new(50).with_tolerance(1e-4), &edges, &meta);
+        assert!(run.iterations < 50, "converged in {} iters", run.iterations);
+        assert!((run.values[0] - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_tolerance_runs_to_the_cap() {
+        // A cycle converges only geometrically, so an exact fixed point is
+        // out of reach and the convergence bound degenerates to the cap.
+        let edges = [Edge::new(0, 1), Edge::new(1, 0), Edge::new(1, 2)];
+        let meta = GraphMeta::from_edges(3, &edges);
+        let run = run_in_memory(&PageRank::new(5).with_tolerance(0.0), &edges, &meta);
+        assert_eq!(run.iterations, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn tolerance_validated() {
+        let _ = PageRank::new(1).with_tolerance(-1.0);
     }
 }

@@ -63,6 +63,8 @@ pub struct RunArgs {
     pub threads: usize,
     /// Write a JSONL trace artifact to this path.
     pub trace: Option<String>,
+    /// Fault-injection spec (`seed=...,reram-ber=...,ecc=...`).
+    pub faults: Option<String>,
 }
 
 /// `hyve compare` arguments.
@@ -248,6 +250,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             no_gating: map.contains_key("no-gating"),
             threads: get_num(&map, "threads", Some(1usize))?,
             trace: map.get("trace").cloned(),
+            faults: map.get("faults").cloned(),
         })),
         "compare" => Ok(Command::Compare(CompareArgs {
             algorithm: map
@@ -420,6 +423,27 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         let err = parse(&argv("run --alg pr --dataset yt --trace")).unwrap_err();
+        assert!(err.to_string().contains("needs a value"));
+    }
+
+    #[test]
+    fn parses_faults_flag() {
+        match parse(&argv(
+            "run --alg pr --dataset yt --faults seed=7,reram-ber=1e-5,ecc=secded",
+        ))
+        .unwrap()
+        {
+            Command::Run(r) => assert_eq!(
+                r.faults.as_deref(),
+                Some("seed=7,reram-ber=1e-5,ecc=secded")
+            ),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("run --alg pr --dataset yt")).unwrap() {
+            Command::Run(r) => assert_eq!(r.faults, None),
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse(&argv("run --alg pr --dataset yt --faults")).unwrap_err();
         assert!(err.to_string().contains("needs a value"));
     }
 

@@ -7,7 +7,9 @@ use crate::args::{
 use crate::CliError;
 use hyve_algorithms::{Bfs, ConnectedComponents, DegreeCentrality, PageRank, SpMv, Sssp};
 use hyve_baselines::CpuSystem;
-use hyve_core::{RunReport, SharedRecorder, SimulationSession, SystemConfig, TraceArtifact};
+use hyve_core::{
+    FaultPlan, RunReport, SharedRecorder, SimulationSession, SystemConfig, TraceArtifact,
+};
 use hyve_graph::{block_sparsity, io, DatasetProfile, EdgeList, Rmat, VertexId};
 use hyve_graphr::GraphrEngine;
 use hyve_memsim::CellBits;
@@ -86,15 +88,16 @@ fn config_by_name(name: &str) -> Result<SystemConfig, CliError> {
 /// Builds a session with `threads` workers, surfacing configuration and
 /// thread-count problems as usage errors.
 fn session_for(cfg: SystemConfig, threads: usize) -> Result<SimulationSession, CliError> {
-    session_with_trace(cfg, threads, None)
+    session_with_trace(cfg, threads, None, None)
 }
 
 /// Like [`session_for`], but optionally attaches a metrics recorder so the
-/// run emits a trace artifact.
+/// run emits a trace artifact, and/or a fault-injection plan.
 fn session_with_trace(
     cfg: SystemConfig,
     threads: usize,
     recorder: Option<SharedRecorder>,
+    faults: Option<FaultPlan>,
 ) -> Result<SimulationSession, CliError> {
     let mut builder = SimulationSession::builder(cfg);
     builder = match threads {
@@ -103,6 +106,9 @@ fn session_with_trace(
     };
     if let Some(r) = recorder {
         builder = builder.with_trace(r);
+    }
+    if let Some(plan) = faults {
+        builder = builder.with_faults(plan);
     }
     builder.build().map_err(|e| CliError::Usage(e.to_string()))
 }
@@ -141,8 +147,13 @@ fn run<W: Write>(args: RunArgs, out: &mut W) -> Result<(), CliError> {
     if args.no_gating {
         cfg = cfg.with_power_gating(false);
     }
+    let faults = args
+        .faults
+        .as_deref()
+        .map(|spec| FaultPlan::parse(spec).map_err(|e| CliError::Usage(format!("--faults: {e}"))))
+        .transpose()?;
     let recorder = args.trace.as_ref().map(|_| SharedRecorder::default());
-    let session = session_with_trace(cfg, args.threads, recorder.clone())?;
+    let session = session_with_trace(cfg, args.threads, recorder.clone(), faults)?;
     let report = run_algorithm(&args.algorithm, &session, &graph, args.iterations)?;
     writeln!(out, "graph : {name}").map_err(io_err)?;
     writeln!(out, "{report}").map_err(io_err)?;
@@ -215,6 +226,22 @@ fn print_artifact<W: Write>(a: &TraceArtifact, out: &mut W) -> Result<(), CliErr
             router.words, router.reroutes
         )
         .map_err(io_err)?;
+    }
+    if let Some(rel) = &a.reliability {
+        writeln!(
+            out,
+            "reliability: {} corrected, {} uncorrectable ({} retries)",
+            rel.corrected, rel.uncorrectable, rel.retries
+        )
+        .map_err(io_err)?;
+        for r in &rel.remaps {
+            writeln!(
+                out,
+                "  remap    : bank {}:{} -> spare {}:{}",
+                r.chip, r.bank, r.spare_chip, r.spare_bank
+            )
+            .map_err(io_err)?;
+        }
     }
     writeln!(out, "total     : {} | {}", a.total_energy(), a.elapsed()).map_err(io_err)
 }
@@ -546,6 +573,43 @@ mod tests {
         assert!(s.contains("total     :"), "{s}");
         let s = exec(&format!("report {p} {p}")).unwrap();
         assert!(s.contains("identical: yes"), "{s}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn fault_run_reports_reliability_and_is_deterministic() {
+        let line = "run --alg pr --dataset yt --iters 3 \
+                    --faults seed=7,reram-ber=1e-5,ecc=secded";
+        let a = exec(line).unwrap();
+        assert!(a.contains("reliability"), "{a}");
+        assert!(a.contains("corrected"), "{a}");
+        let b = exec(line).unwrap();
+        assert_eq!(a, b, "same seed must reproduce the same output");
+    }
+
+    #[test]
+    fn bad_fault_spec_is_a_usage_error() {
+        let err = exec("run --alg pr --dataset yt --faults seed=banana").unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert_eq!(err.exit_code(), 2);
+        let err = exec("run --alg pr --dataset yt --faults reram-ber=2.0").unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn stuck_bank_trace_surfaces_remap_in_report() {
+        let dir = std::env::temp_dir().join("hyve-cli-fault-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("faulty.jsonl");
+        let p = path.to_str().unwrap().to_string();
+        let s = exec(&format!(
+            "run --alg bfs --dataset yt --trace {p} --faults seed=1,stuck-bank=0:3"
+        ))
+        .unwrap();
+        assert!(s.contains("bank remap"), "{s}");
+        let s = exec(&format!("report {p}")).unwrap();
+        assert!(s.contains("reliability:"), "{s}");
+        assert!(s.contains("remap    : bank 0:3 -> spare"), "{s}");
         std::fs::remove_file(path).ok();
     }
 

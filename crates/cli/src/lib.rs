@@ -71,7 +71,7 @@ hyve — Hybrid Vertex-Edge memory hierarchy simulator
 USAGE:
   hyve run       --alg <pr|bfs|cc|sssp|spmv> [--config <name>] (--dataset <tag> | --input <file>)
                  [--iters N] [--seed N] [--sram-mb N] [--no-sharing] [--no-gating] [--threads N]
-                 [--trace <file.jsonl>]
+                 [--trace <file.jsonl>] [--faults <spec>]
   hyve report    <artifact.jsonl> [<baseline.jsonl>]
   hyve compare   --alg <name> (--dataset <tag> | --input <file>) [--seed N] [--threads N]
   hyve sweep     --what <sram|cells|density> (--dataset <tag> | --input <file>) [--threads N]
@@ -84,4 +84,10 @@ configs : acc-dram, acc-reram, acc-sram-dram, hyve, hyve-opt (default)
 
 `run --trace` records a per-iteration metrics artifact (JSONL); `report`
 pretty-prints one artifact, or diffs two (energy/latency deltas per channel).
+
+`run --faults` injects a deterministic fault model, e.g.
+  --faults seed=7,reram-ber=1e-5,dram-ber=1e-9,ecc=secded,retries=3
+keys: seed, reram-ber, dram-ber, sram-ber, ecc=<none|secded|bch>, retries,
+wear-limit, stuck-bank=CHIP:BANK (repeatable). Same seed, same counts —
+corrections, retries and bank remaps land in the report and trace artifact.
 ";

@@ -1,0 +1,107 @@
+//! `hyve report` must degrade gracefully on damaged trace artifacts: a
+//! clear parse error naming the offending line, exit code 1, and never a
+//! panic — whatever the corruption.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_hyve-cli"))
+        .args(args)
+        .output()
+        .expect("spawn hyve-cli")
+}
+
+/// Generates a genuine artifact to corrupt, once per test.
+fn fresh_artifact(name: &str) -> (PathBuf, String) {
+    let dir = std::env::temp_dir().join("hyve-cli-corrupted-artifacts");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let out = run(&[
+        "run",
+        "--alg",
+        "bfs",
+        "--dataset",
+        "yt",
+        "--trace",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    (path, text)
+}
+
+/// Asserts `report <path>` exits 1 (not a panic's 101, not usage's 2) with
+/// a line-numbered parse error on stderr.
+fn assert_clean_failure(path: &Path, expect_line: &str) {
+    let out = run(&["report", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line"), "no line number in: {stderr}");
+    assert!(stderr.contains(expect_line), "wrong line in: {stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert!(!stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
+fn truncated_mid_line_fails_with_line_number() {
+    let (path, text) = fresh_artifact("truncated.jsonl");
+    let lines: Vec<&str> = text.lines().collect();
+    let keep = lines.len() / 2;
+    let mut cut: String = lines[..keep].join("\n");
+    // Chop the next line mid-object so the JSON is structurally broken.
+    cut.push('\n');
+    cut.push_str(&lines[keep][..lines[keep].len() / 2]);
+    std::fs::write(&path, &cut).unwrap();
+    assert_clean_failure(&path, &format!("line {}", keep + 1));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn unknown_event_fails_with_line_number() {
+    let (path, mut text) = fresh_artifact("unknown-event.jsonl");
+    let line_count = text.lines().count();
+    text.push_str("{\"event\":\"gamma-ray\"}\n");
+    std::fs::write(&path, &text).unwrap();
+    let out = run(&["report", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("gamma-ray"), "{stderr}");
+    assert!(
+        stderr.contains(&format!("line {}", line_count + 1)),
+        "{stderr}"
+    );
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn mangled_numeric_field_fails_cleanly() {
+    let (path, text) = fresh_artifact("mangled-number.jsonl");
+    // Break the header's vertex count; blame lands on line 1.
+    let mangled = text.replacen("\"vertices\":", "\"vertices\":oops", 1);
+    assert_ne!(mangled, text, "replacement must hit");
+    std::fs::write(&path, &mangled).unwrap();
+    assert_clean_failure(&path, "line 1");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn wrong_schema_tag_fails_cleanly() {
+    let (path, text) = fresh_artifact("wrong-schema.jsonl");
+    let mangled = text.replacen("hyve-trace/1", "hyve-trace/999", 1);
+    std::fs::write(&path, &mangled).unwrap();
+    assert_clean_failure(&path, "line 1");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn empty_artifact_fails_cleanly() {
+    let dir = std::env::temp_dir().join("hyve-cli-corrupted-artifacts");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("empty.jsonl");
+    std::fs::write(&path, "").unwrap();
+    let out = run(&["report", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("panicked"));
+    std::fs::remove_file(path).ok();
+}

@@ -14,13 +14,18 @@
 //! the arithmetic inside each pass — must not be reordered without
 //! re-blessing the baselines.
 
+use crate::controller::ResilienceModel;
 use crate::exec::BlockPlan;
-use crate::hierarchy::{Channel, HierarchyInstance, Ledgers};
+use crate::hierarchy::{Channel, DeviceSpec, HierarchyInstance, Ledgers};
 use crate::pu::ProcessingUnit;
 use crate::router::Router;
+use crate::stats::ReliabilityReport;
 use hyve_algorithms::{EdgeProgram, ExecutionMode};
 use hyve_graph::GridGraph;
-use hyve_memsim::{Energy, Power, Time};
+use hyve_memsim::{
+    expected_count, mlc_ber_factor, AccessStats, EccProfile, Energy, FaultPlan, FaultRng, Power,
+    Time,
+};
 
 /// Banks that can overlap random accesses on a channel.
 const BANK_PARALLELISM: f64 = 16.0;
@@ -328,6 +333,200 @@ pub(crate) fn scale_by_iterations(ledgers: &mut Ledgers, iters: f64) {
         stats.bits_written = (stats.bits_written as f64 * iters) as u64;
         stats.dynamic_energy *= iters;
         stats.busy_time *= iters;
+    }
+}
+
+/// Output of the reliability pass: the run's reliability report plus the
+/// serially-exposed time (corrections, retry backoff, remap re-streams)
+/// the engine adds to the overhead phase and the total runtime.
+pub(crate) struct ReliabilityOutcome {
+    /// Time exposed serially on top of the fault-free schedule.
+    pub exposed_time: Time,
+    /// Corrections / retries / remaps for the report and the trace layer.
+    pub report: ReliabilityReport,
+}
+
+/// Raw bit-error rate a channel's device sees under a plan: ReRAM scaled
+/// by MLC sensitivity, DRAM at its retention rate, on-chip tiers at the
+/// soft-error rate.
+fn channel_ber(plan: &FaultPlan, device: &DeviceSpec) -> f64 {
+    match device {
+        DeviceSpec::Reram(cfg) => plan.reram_ber * mlc_ber_factor(cfg.cell.bits.bits()),
+        DeviceSpec::Dram(_) => plan.dram_ber,
+        DeviceSpec::Sram(_) | DeviceSpec::RegisterFile { .. } => plan.sram_ber,
+    }
+}
+
+/// Detect→retry ECC escalation over one channel's run-total traffic.
+///
+/// Charges the syndrome-decode energy on every protected access, the
+/// correction energy/latency on corrected errors, and bounded re-reads
+/// with linear backoff on detectable-uncorrectable ones. Without ECC, raw
+/// errors are *silent*: nothing is observed, nothing is charged.
+fn channel_escalation(
+    ch: &Channel,
+    stats: &mut AccessStats,
+    ber: f64,
+    ecc: EccProfile,
+    max_retries: u32,
+    rng: &mut FaultRng,
+    report: &mut ReliabilityReport,
+) -> Time {
+    let word_bits = ch.costs().output_bits;
+    if ecc == EccProfile::None {
+        return Time::ZERO;
+    }
+    // The syndrome pipeline checks every access; its latency is already in
+    // the cost memo, its energy is charged here.
+    let accesses = stats.reads + stats.writes;
+    stats.dynamic_energy += ecc.detect_energy(word_bits) * accesses as f64;
+    if ber <= 0.0 {
+        return Time::ZERO;
+    }
+
+    let bits = stats.bits_read + stats.bits_written;
+    let expected_errors = bits as f64 * ber;
+    let expected_due = ecc.uncorrectable_expected(expected_errors, ber, word_bits);
+    let due = expected_count(expected_due, rng);
+    let corrected = expected_count(expected_errors, rng).saturating_sub(due);
+
+    // Correctable: decode + flip, exposed serially on the access path.
+    stats.dynamic_energy += ecc.correct_energy(word_bits) * corrected as f64;
+    let mut exposed = ecc.correct_latency() * corrected as f64;
+
+    // Detectable-uncorrectable: each event is re-read up to the retry
+    // budget with linearly growing backoff (attempt k waits k access
+    // latencies). Events beyond the sampling cap extrapolate at the
+    // sampled mean so huge error counts stay O(cap) — and deterministic.
+    const EVENT_CAP: u64 = 10_000;
+    let sampled = due.min(EVENT_CAP);
+    let mut retries = 0u64;
+    let mut backoff_units = 0u64;
+    for _ in 0..sampled {
+        let attempts = 1 + rng.below(u64::from(max_retries));
+        retries += attempts;
+        backoff_units += attempts * (attempts + 1) / 2;
+    }
+    if due > sampled && sampled > 0 {
+        retries += (retries / sampled) * (due - sampled);
+        backoff_units += (backoff_units / sampled) * (due - sampled);
+    }
+    stats.reads += retries;
+    stats.bits_read += retries * u64::from(word_bits);
+    stats.dynamic_energy += ch.device().read_energy(u64::from(word_bits)) * retries as f64;
+    let retry_time = ch.costs().read_latency * backoff_units as f64;
+    stats.busy_time += retry_time;
+    exposed += retry_time;
+
+    report.corrected += corrected;
+    report.uncorrectable += due;
+    report.retries += retries;
+    exposed
+}
+
+/// Reliability pass: interprets the session's [`FaultPlan`] against the
+/// run's total traffic, charging ECC corrections, retry backoff and bank
+/// sparing into the ledgers.
+///
+/// Runs once per run, single-threaded, after [`scale_by_iterations`] (so
+/// the ledger counters are run totals) and before [`background`] (so the
+/// exposed time extends the leakage window). All randomness comes from
+/// the plan's seed, consumed in a fixed channel order — outcomes are
+/// identical across execution strategies and thread counts by
+/// construction.
+pub(crate) fn reliability(
+    model: &ResilienceModel,
+    hierarchy: &HierarchyInstance,
+    w: &Workload,
+    iterations: u32,
+    ledgers: &mut Ledgers,
+) -> ReliabilityOutcome {
+    let plan = model.plan();
+    let spec = hierarchy.spec();
+    let mut rng = FaultRng::new(plan.seed);
+    let mut report = ReliabilityReport::default();
+    let mut exposed = Time::ZERO;
+
+    // Detect→retry, per channel in fixed ledger order.
+    exposed += channel_escalation(
+        hierarchy.edge(),
+        &mut ledgers.edge,
+        channel_ber(plan, &spec.edge.device),
+        plan.ecc,
+        plan.max_retries,
+        &mut rng,
+        &mut report,
+    );
+    exposed += channel_escalation(
+        hierarchy.global_vertex(),
+        &mut ledgers.global_vertex,
+        channel_ber(plan, &spec.global_vertex.device),
+        plan.ecc,
+        plan.max_retries,
+        &mut rng,
+        &mut report,
+    );
+    if let (Some(local), Some(local_spec)) = (hierarchy.local_vertex(), &spec.local_vertex) {
+        exposed += channel_escalation(
+            local,
+            &mut ledgers.local_vertex,
+            channel_ber(plan, &local_spec.device),
+            plan.ecc,
+            plan.max_retries,
+            &mut rng,
+            &mut report,
+        );
+    }
+
+    // Remap: persistent edge-bank faults — factory-stuck banks plus banks
+    // whose endurance budget the run's scan count exhausted — are spared
+    // so the run completes degraded instead of aborting.
+    let mut spares = model.spare_map();
+    let banks_per_chip = u64::from(model.edge_banks_per_chip());
+    let data_banks = model
+        .total_edge_banks()
+        .saturating_sub(spares.spare_banks());
+    let mut persistent: Vec<(u32, u32)> = plan.stuck_banks.clone();
+    if let Some(limit) = plan.wear_limit {
+        // Process variation: each bank's endurance is a seed-deterministic
+        // draw in [0.5, 1.5) × the nominal limit; banks the run's scans
+        // outlived go persistent.
+        for linear in 0..data_banks {
+            let endurance = ((limit as f64 * (0.5 + rng.next_f64())) as u64).max(1);
+            if u64::from(iterations) >= endurance {
+                persistent.push((
+                    (linear / banks_per_chip) as u32,
+                    (linear % banks_per_chip) as u32,
+                ));
+            }
+        }
+    }
+    for (chip, bank) in persistent {
+        spares.remap(chip, bank);
+    }
+
+    // Each remapped bank's share of the edge array now streams from its
+    // spare — extra transfers every iteration, charged to the edge ledger.
+    let remapped = spares.remaps().len() as u64;
+    if remapped > 0 {
+        let share_bits = (w.edge_bits / data_banks.max(1)).max(1);
+        let extra_bits = share_bits * remapped * u64::from(iterations);
+        let dev = hierarchy.edge().device();
+        let extra_time = dev.sequential_read_time(extra_bits);
+        ledgers
+            .edge
+            .record_read(extra_bits, dev.read_energy(extra_bits), extra_time);
+        exposed += extra_time;
+    }
+
+    report.remaps = spares.remaps().to_vec();
+    report.spare_banks = spares.spare_banks();
+    report.unspared = spares.unspared();
+    report.degraded_fraction = spares.degraded_fraction();
+
+    ReliabilityOutcome {
+        exposed_time: exposed,
+        report,
     }
 }
 

@@ -15,8 +15,13 @@
 //!   consumer-bound.
 //! * **Scheduling stalls** — "during scheduling, on-chip vertex memory
 //!   access requests are stalled" (§3.3); the controller counts them.
+//! * **Resilience** — the detect→retry→remap escalation ladder for memory
+//!   faults: ECC corrects what it can, detectable-uncorrectable errors are
+//!   re-read with backoff, and persistently faulty edge banks are remapped
+//!   onto spare banks ([`BankSpareMap`]) so a run degrades (less effective
+//!   capacity, extra transfers) instead of aborting.
 
-use hyve_memsim::Time;
+use hyve_memsim::{FaultPlan, Time};
 
 /// Physical placement of a byte range in the edge memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -167,6 +172,179 @@ impl Default for EdgeBuffer {
     }
 }
 
+/// One bank-sparing decision: a persistently faulty edge bank and the
+/// spare bank now serving its address range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankRemap {
+    /// Chip of the faulty bank.
+    pub chip: u32,
+    /// Faulty bank within the chip.
+    pub bank: u32,
+    /// Chip of the spare now serving the range.
+    pub spare_chip: u32,
+    /// Spare bank within that chip.
+    pub spare_bank: u32,
+}
+
+/// Spare-bank allocator for the edge channel.
+///
+/// A small fraction of banks (at least one) is reserved at the *top* of
+/// the linear bank space as spares; persistent faults consume them from
+/// the highest linear index downward. Banks that fail after the spares
+/// run out are simply lost capacity — the run still completes, just more
+/// degraded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankSpareMap {
+    banks_per_chip: u32,
+    total_banks: u64,
+    spare_banks: u64,
+    next_spare: u64,
+    remaps: Vec<BankRemap>,
+    unspared: u64,
+}
+
+impl BankSpareMap {
+    /// Creates a spare map over `chips × banks_per_chip` banks, reserving
+    /// 1/32 of them (at least one) as spares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(chips: u32, banks_per_chip: u32) -> Self {
+        assert!(chips > 0 && banks_per_chip > 0, "degenerate spare map");
+        let total_banks = u64::from(chips) * u64::from(banks_per_chip);
+        let spare_banks = (total_banks / 32).max(1).min(total_banks);
+        BankSpareMap {
+            banks_per_chip,
+            total_banks,
+            spare_banks,
+            next_spare: total_banks,
+            remaps: Vec::new(),
+            unspared: 0,
+        }
+    }
+
+    /// Number of banks reserved as spares.
+    pub fn spare_banks(&self) -> u64 {
+        self.spare_banks
+    }
+
+    /// Remaps a persistently faulty bank onto the next free spare.
+    ///
+    /// Returns the remap record, or `None` when the spare pool is
+    /// exhausted (the bank is then counted as unspared lost capacity).
+    /// Remapping the same bank twice is idempotent.
+    pub fn remap(&mut self, chip: u32, bank: u32) -> Option<BankRemap> {
+        if let Some(existing) = self
+            .remaps
+            .iter()
+            .find(|r| r.chip == chip && r.bank == bank)
+        {
+            return Some(*existing);
+        }
+        let used = self.total_banks - self.next_spare;
+        if used >= self.spare_banks {
+            self.unspared += 1;
+            return None;
+        }
+        self.next_spare -= 1;
+        let record = BankRemap {
+            chip,
+            bank,
+            spare_chip: (self.next_spare / u64::from(self.banks_per_chip)) as u32,
+            spare_bank: (self.next_spare % u64::from(self.banks_per_chip)) as u32,
+        };
+        self.remaps.push(record);
+        Some(record)
+    }
+
+    /// All remaps performed so far, in escalation order.
+    pub fn remaps(&self) -> &[BankRemap] {
+        &self.remaps
+    }
+
+    /// Persistent faults that found no spare left.
+    pub fn unspared(&self) -> u64 {
+        self.unspared
+    }
+
+    /// Fraction of total bank capacity lost to faults and their spares.
+    pub fn degraded_fraction(&self) -> f64 {
+        (self.remaps.len() as u64 + self.unspared) as f64 / self.total_banks as f64
+    }
+}
+
+/// The controller's reliability configuration, resolved against the edge
+/// channel's bank geometry.
+///
+/// Holds the immutable facts the accounting pass needs — the
+/// [`FaultPlan`], the edge bank geometry and the edge cell bits (MLC
+/// sensitivity). Mutable escalation state ([`BankSpareMap`]) is created
+/// fresh per run via [`ResilienceModel::spare_map`], so concurrent runs on
+/// one session stay independent and deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceModel {
+    plan: FaultPlan,
+    edge_chips: u32,
+    edge_banks_per_chip: u32,
+    edge_cell_bits: u32,
+}
+
+impl ResilienceModel {
+    /// Creates a model from a plan and the edge channel's geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank geometry is degenerate.
+    pub fn new(
+        plan: FaultPlan,
+        edge_chips: u32,
+        edge_banks_per_chip: u32,
+        edge_cell_bits: u32,
+    ) -> Self {
+        assert!(
+            edge_chips > 0 && edge_banks_per_chip > 0,
+            "degenerate edge bank geometry"
+        );
+        ResilienceModel {
+            plan,
+            edge_chips,
+            edge_banks_per_chip,
+            edge_cell_bits: edge_cell_bits.max(1),
+        }
+    }
+
+    /// The fault plan being enforced.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Edge-channel chips.
+    pub fn edge_chips(&self) -> u32 {
+        self.edge_chips
+    }
+
+    /// Banks per edge chip.
+    pub fn edge_banks_per_chip(&self) -> u32 {
+        self.edge_banks_per_chip
+    }
+
+    /// Bits per edge-memory cell (MLC raw-BER sensitivity).
+    pub fn edge_cell_bits(&self) -> u32 {
+        self.edge_cell_bits
+    }
+
+    /// Total edge banks across all chips.
+    pub fn total_edge_banks(&self) -> u64 {
+        u64::from(self.edge_chips) * u64::from(self.edge_banks_per_chip)
+    }
+
+    /// A fresh spare map for one run's escalation state.
+    pub fn spare_map(&self) -> BankSpareMap {
+        BankSpareMap::new(self.edge_chips, self.edge_banks_per_chip)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,5 +408,50 @@ mod tests {
     #[should_panic(expected = "degenerate")]
     fn zero_dims_panic() {
         let _ = AddressMap::new(0, 4, 1024);
+    }
+
+    #[test]
+    fn spare_map_allocates_from_the_top_down() {
+        // 8 chips × 8 banks = 64 banks → 2 spares (64/32).
+        let mut map = BankSpareMap::new(8, 8);
+        assert_eq!(map.spare_banks(), 2);
+        let first = map.remap(0, 3).unwrap();
+        assert_eq!((first.spare_chip, first.spare_bank), (7, 7));
+        let second = map.remap(2, 1).unwrap();
+        assert_eq!((second.spare_chip, second.spare_bank), (7, 6));
+        // Pool exhausted: third fault is lost capacity, not a remap.
+        assert!(map.remap(4, 4).is_none());
+        assert_eq!(map.unspared(), 1);
+        assert_eq!(map.remaps().len(), 2);
+        assert!((map.degraded_fraction() - 3.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spare_map_remap_is_idempotent() {
+        let mut map = BankSpareMap::new(2, 8);
+        assert_eq!(map.spare_banks(), 1, "16 banks still reserve one spare");
+        let a = map.remap(0, 0).unwrap();
+        let b = map.remap(0, 0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(map.remaps().len(), 1);
+    }
+
+    #[test]
+    fn resilience_model_resolves_geometry() {
+        let plan = FaultPlan::none().with_seed(3);
+        let model = ResilienceModel::new(plan.clone(), 8, 8, 2);
+        assert_eq!(model.plan(), &plan);
+        assert_eq!(model.total_edge_banks(), 64);
+        assert_eq!(model.edge_cell_bits(), 2);
+        // Each run gets fresh, independent escalation state.
+        let mut a = model.spare_map();
+        a.remap(1, 1);
+        assert!(model.spare_map().remaps().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate edge bank geometry")]
+    fn resilience_model_rejects_zero_banks() {
+        let _ = ResilienceModel::new(FaultPlan::none(), 0, 8, 1);
     }
 }

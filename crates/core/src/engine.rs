@@ -33,7 +33,7 @@ use crate::stats::{PhaseTimes, RunReport, RunTrace};
 use crate::trace::{SharedSink, TraceChannel, TraceEvent};
 use hyve_algorithms::{EdgeProgram, ExecutionMode, GraphMeta, IterationBound};
 use hyve_graph::{EdgeList, FlatGrid, GridGraph, VertexId};
-use hyve_memsim::Time;
+use hyve_memsim::{FaultPlan, Time};
 
 /// Cost of the one-shot preprocessing step: writing the partitioned edge
 /// data into the edge memory and the initial vertex values into the global
@@ -108,8 +108,25 @@ impl Engine {
     /// [`CoreError::InvalidConfig`] from [`SystemConfig::validate`] or
     /// device-model construction.
     pub(crate) fn try_new(config: SystemConfig) -> Result<Self, CoreError> {
+        Engine::try_new_with_faults(config, FaultPlan::none())
+    }
+
+    /// Like [`try_new`](Self::try_new), with a fault-injection plan lowered
+    /// into the hierarchy spec. An inert plan ([`FaultPlan::none()`])
+    /// produces exactly the engine `try_new` builds.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] from configuration or plan validation,
+    /// or device-model construction.
+    pub(crate) fn try_new_with_faults(
+        config: SystemConfig,
+        faults: FaultPlan,
+    ) -> Result<Self, CoreError> {
         config.validate()?;
-        let hierarchy = HierarchyInstance::build(HierarchySpec::lower(&config))?;
+        let mut spec = HierarchySpec::lower(&config);
+        spec.faults = faults;
+        let hierarchy = HierarchyInstance::build(spec)?;
         Ok(Engine {
             config,
             hierarchy,
@@ -234,7 +251,10 @@ impl Engine {
     /// # Errors
     ///
     /// [`CoreError::Unschedulable`] when the grid's interval count is below
-    /// the PU count or not divisible by it.
+    /// the PU count or not divisible by it;
+    /// [`CoreError::MaxIterationsExceeded`] (carrying the partial report)
+    /// when a converge-bound program is still changing values at its
+    /// iteration cap.
     pub(crate) fn run_traced<P: EdgeProgram>(
         &self,
         program: &P,
@@ -314,10 +334,39 @@ impl Engine {
                     reroutes: reroutes * iters,
                 });
             }
+            if let Some(rel) = &report.reliability {
+                sink.record(&TraceEvent::Reliability {
+                    corrected: rel.corrected,
+                    uncorrectable: rel.uncorrectable,
+                    retries: rel.retries,
+                });
+                for r in &rel.remaps {
+                    sink.record(&TraceEvent::BankRemap {
+                        chip: r.chip,
+                        bank: r.bank,
+                        spare_chip: r.spare_chip,
+                        spare_bank: r.spare_bank,
+                    });
+                }
+            }
             sink.record(&TraceEvent::RunEnd {
                 iterations: report.iterations,
                 edges_processed: report.edges_processed,
             });
+        }
+
+        // A converge-bound program that was still changing values when it
+        // hit its cap did not finish its job: surface that as a typed error
+        // carrying the partial report (the trace artifact above is complete
+        // either way, so observers see the capped run).
+        if let IterationBound::Converge { max } = program.bound() {
+            if trace.iterations >= max && trace.changed.last().copied().unwrap_or(false) {
+                return Err(CoreError::MaxIterationsExceeded {
+                    algorithm: program.name(),
+                    max_iterations: max,
+                    report: Box::new(report),
+                });
+            }
         }
         Ok((report, values, trace))
     }
@@ -640,7 +689,7 @@ impl Engine {
         let exposed_loading = (loading_time - busy).max(Time::ZERO);
         let iteration_time = exposed_loading + busy + updating_time + overhead_time;
         let iters = f64::from(iterations);
-        let phases = PhaseTimes {
+        let mut phases = PhaseTimes {
             loading: exposed_loading * iters,
             processing: busy * iters,
             updating: updating_time * iters,
@@ -648,7 +697,19 @@ impl Engine {
         };
         accounting::scale_by_iterations(&mut ledgers, iters);
 
-        let total_time = iteration_time * iters;
+        let mut total_time = iteration_time * iters;
+        // Reliability pass (only when the session's fault plan is active):
+        // interprets the plan against the run-total ledgers, single-threaded
+        // from the plan's seed — outcomes are identical across execution
+        // strategies by construction. Corrections, retry backoff and remap
+        // re-streams expose serially, extending overhead and the leakage
+        // window.
+        let reliability = hierarchy.resilience().map(|model| {
+            let outcome = accounting::reliability(model, hierarchy, &w, iterations, &mut ledgers);
+            phases.overhead += outcome.exposed_time;
+            total_time += outcome.exposed_time;
+            outcome.report
+        });
         accounting::background(
             hierarchy,
             &self.pu,
@@ -666,6 +727,7 @@ impl Engine {
             intervals: w.p,
             phases,
             breakdown: ledgers.into_breakdown(),
+            reliability,
         }
     }
 }
@@ -913,12 +975,36 @@ mod tests {
 
     #[test]
     fn undirected_program_doubles_traversals() {
+        // A 16-chain takes several iterations to converge, so capping CC at
+        // one iteration is a non-convergence: the run surfaces the typed
+        // error, and the partial report it carries still shows the doubled
+        // (undirected) traversal count for that one iteration.
+        let g = EdgeList::from_edges(16, (0..15).map(|i| Edge::new(i, i + 1))).unwrap();
+        let engine = engine_for(SystemConfig::hyve().with_num_pus(2));
+        match engine.run_on_edge_list(&ConnectedComponents::new().with_max_iterations(1), &g) {
+            Err(CoreError::MaxIterationsExceeded {
+                algorithm,
+                max_iterations,
+                report,
+            }) => {
+                assert_eq!(algorithm, "CC");
+                assert_eq!(max_iterations, 1);
+                assert_eq!(report.iterations, 1);
+                assert_eq!(report.edges_processed, 2 * 15);
+            }
+            other => panic!("expected MaxIterationsExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn converged_runs_do_not_raise_max_iterations() {
+        // With enough headroom the same program converges and returns Ok.
         let g = EdgeList::from_edges(16, (0..15).map(|i| Edge::new(i, i + 1))).unwrap();
         let engine = engine_for(SystemConfig::hyve().with_num_pus(2));
         let cc = engine
-            .run_on_edge_list(&ConnectedComponents::new().with_max_iterations(1), &g)
+            .run_on_edge_list(&ConnectedComponents::new(), &g)
             .unwrap();
-        assert_eq!(cc.edges_processed, 2 * 15);
+        assert!(cc.iterations > 1);
     }
 
     #[test]
@@ -980,5 +1066,52 @@ mod tests {
             .preprocessing_report(&PageRank::new(1), &grid)
             .unwrap();
         assert_eq!(crate::hierarchy::device_constructions(), built);
+    }
+
+    #[test]
+    fn fault_runs_report_reliability_and_stay_seed_deterministic() {
+        let g = small_graph();
+        let plan = FaultPlan::parse("seed=2018,reram-ber=1e-5,dram-ber=1e-9,ecc=secded").unwrap();
+        let engine = Engine::try_new_with_faults(SystemConfig::hyve_opt(), plan.clone()).unwrap();
+        let a = engine.run_on_edge_list(&PageRank::new(5), &g).unwrap();
+        let rel = a.reliability.as_ref().expect("active plan reports");
+        assert!(rel.corrected > 0, "1e-5 BER over the edge stream corrects");
+        assert!(rel.remaps.is_empty(), "no persistent faults configured");
+        // Same seed, fresh engine: bit-identical outcome.
+        let again = Engine::try_new_with_faults(SystemConfig::hyve_opt(), plan)
+            .unwrap()
+            .run_on_edge_list(&PageRank::new(5), &g)
+            .unwrap();
+        assert_eq!(a, again);
+        // Different seed: the report may differ, the run still completes.
+        let other = Engine::try_new_with_faults(
+            SystemConfig::hyve_opt(),
+            FaultPlan::parse("seed=7,reram-ber=1e-5,dram-ber=1e-9,ecc=secded").unwrap(),
+        )
+        .unwrap()
+        .run_on_edge_list(&PageRank::new(5), &g)
+        .unwrap();
+        assert!(other.reliability.is_some());
+    }
+
+    #[test]
+    fn stuck_bank_run_completes_degraded_via_sparing() {
+        let g = small_graph();
+        let plan = FaultPlan::parse("seed=1,stuck-bank=0:3,stuck-bank=2:1").unwrap();
+        let faulty = Engine::try_new_with_faults(SystemConfig::hyve(), plan).unwrap();
+        let report = faulty.run_on_edge_list(&PageRank::new(3), &g).unwrap();
+        let rel = report.reliability.as_ref().expect("plan is active");
+        assert_eq!(rel.remaps.len(), 2, "both stuck banks spared");
+        assert_eq!((rel.remaps[0].chip, rel.remaps[0].bank), (0, 3));
+        assert!(rel.degraded_fraction > 0.0);
+        // Degradation costs extra edge transfers relative to a clean run.
+        let clean = engine_for(SystemConfig::hyve())
+            .run_on_edge_list(&PageRank::new(3), &g)
+            .unwrap();
+        assert!(clean.reliability.is_none());
+        assert!(
+            report.breakdown.edge_memory.bits_read > clean.breakdown.edge_memory.bits_read,
+            "remapped banks re-stream their share"
+        );
     }
 }

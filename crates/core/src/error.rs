@@ -1,10 +1,11 @@
 //! Error type for the simulator.
 
+use crate::stats::RunReport;
 use std::error::Error;
 use std::fmt;
 
 /// Errors produced by engine configuration and runs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
     /// The system configuration is inconsistent.
     InvalidConfig {
@@ -21,6 +22,17 @@ pub enum CoreError {
     Graph(hyve_graph::GraphError),
     /// A memory-device model rejected its configuration.
     Device(hyve_memsim::DeviceError),
+    /// A convergence-bounded algorithm was still changing values when it
+    /// hit its iteration cap. The partial report covers the capped run, so
+    /// callers can inspect (or knowingly accept) the truncated result.
+    MaxIterationsExceeded {
+        /// The algorithm that failed to converge.
+        algorithm: &'static str,
+        /// The iteration cap that was reached.
+        max_iterations: u32,
+        /// Costs of the truncated run (boxed: reports are large).
+        report: Box<RunReport>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -34,6 +46,14 @@ impl fmt::Display for CoreError {
             }
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
             CoreError::Device(e) => write!(f, "device error: {e}"),
+            CoreError::MaxIterationsExceeded {
+                algorithm,
+                max_iterations,
+                ..
+            } => write!(
+                f,
+                "{algorithm} did not converge within {max_iterations} iterations"
+            ),
         }
     }
 }

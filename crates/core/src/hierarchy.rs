@@ -26,13 +26,14 @@
 //! lowering rule — not editing the engine.
 
 use crate::config::{EdgeMemoryKind, SystemConfig, VertexMemoryKind};
-use crate::controller::AddressMap;
+use crate::controller::{AddressMap, ResilienceModel};
 use crate::error::CoreError;
 use crate::router::Router;
 use crate::stats::EnergyBreakdown;
 use hyve_memsim::{
-    AccessStats, BankPowerGating, DramChip, DramChipConfig, Energy, MemoryDevice, Power,
-    PowerGatingConfig, RegisterFile, ReramChip, ReramChipConfig, SramArray, SramConfig, Time,
+    AccessStats, BankPowerGating, DramChip, DramChipConfig, EccProfile, Energy, FaultPlan,
+    MemoryDevice, Power, PowerGatingConfig, RegisterFile, ReramChip, ReramChipConfig, SramArray,
+    SramConfig, Time,
 };
 use std::cell::Cell;
 use std::fmt;
@@ -171,6 +172,10 @@ pub struct HierarchySpec {
     /// Bank-level power gating of the edge channel (§4.1; requires a
     /// nonvolatile edge device).
     pub power_gating: bool,
+    /// Deterministic fault-injection plan. The default,
+    /// [`FaultPlan::none()`], is inert: no resilience model is built and
+    /// runs take exactly the fault-free code path.
+    pub faults: FaultPlan,
 }
 
 impl HierarchySpec {
@@ -205,6 +210,7 @@ impl HierarchySpec {
             }),
             data_sharing: config.data_sharing,
             power_gating: config.power_gating,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -235,7 +241,16 @@ impl fmt::Display for HierarchySpec {
             } else {
                 "off"
             }
-        )
+        )?;
+        if self.faults.is_active() {
+            write!(
+                f,
+                "\n  faults:        seed={}, ecc={}",
+                self.faults.seed,
+                self.faults.ecc.name()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -294,6 +309,26 @@ impl OpCosts {
             background_power: device.background_power(),
             word_read_latency: device.word_read_latency(),
             word_write_latency: device.word_write_latency(),
+        }
+    }
+
+    /// Folds an ECC profile's per-access overheads into the cost memo:
+    /// every access latency stretches by the in-line syndrome pipeline, and
+    /// background power grows by the check-bit storage fraction (the extra
+    /// cells leak like the data cells they sit beside). Applied once at
+    /// build time, only when the session's fault plan is active.
+    pub fn with_ecc(self, ecc: EccProfile) -> OpCosts {
+        let lat = 1.0 + ecc.latency_overhead();
+        let storage = 1.0 + ecc.storage_overhead(self.output_bits);
+        OpCosts {
+            read_latency: self.read_latency * lat,
+            write_latency: self.write_latency * lat,
+            burst_period: self.burst_period * lat,
+            sequential_write_period: self.sequential_write_period * lat,
+            output_bits: self.output_bits,
+            background_power: self.background_power * storage,
+            word_read_latency: self.word_read_latency * lat,
+            word_write_latency: self.word_write_latency * lat,
         }
     }
 }
@@ -421,6 +456,7 @@ pub struct HierarchyInstance {
     local_vertex: Option<Channel>,
     router: Option<Router>,
     gating: Option<EdgeGating>,
+    resilience: Option<ResilienceModel>,
 }
 
 impl HierarchyInstance {
@@ -432,9 +468,9 @@ impl HierarchyInstance {
     /// gating on a volatile (non-ReRAM) edge channel — gating relies on
     /// nonvolatility to skip state save/restore (§4.1).
     pub fn build(spec: HierarchySpec) -> Result<HierarchyInstance, CoreError> {
-        let edge = Channel::build(&spec.edge)?;
-        let global_vertex = Channel::build(&spec.global_vertex)?;
-        let local_vertex = spec.local_vertex.as_ref().map(Channel::build).transpose()?;
+        let mut edge = Channel::build(&spec.edge)?;
+        let mut global_vertex = Channel::build(&spec.global_vertex)?;
+        let mut local_vertex = spec.local_vertex.as_ref().map(Channel::build).transpose()?;
         let router = spec.data_sharing.then(|| Router::new(spec.num_pus));
         let gating = if spec.power_gating {
             match edge.reram() {
@@ -449,6 +485,37 @@ impl HierarchyInstance {
         } else {
             None
         };
+        let resilience = if spec.faults.is_active() {
+            spec.faults
+                .validate()
+                .map_err(|message| CoreError::InvalidConfig { message })?;
+            // Resolve the plan against the edge channel's bank geometry and
+            // cell type — no extra device constructions.
+            let (banks_per_chip, cell_bits) = match &spec.edge.device {
+                DeviceSpec::Reram(cfg) => (cfg.banks, cfg.cell.bits.bits()),
+                // DRAM edge channel: a DDR4-style device has 16 banks and
+                // single-level cells.
+                _ => (16, 1),
+            };
+            // ECC datapaths sit on every channel's access path: fold the
+            // per-access overheads into the cost memos once, at build time.
+            if spec.faults.ecc != EccProfile::None {
+                let ecc = spec.faults.ecc;
+                edge.costs = edge.costs.with_ecc(ecc);
+                global_vertex.costs = global_vertex.costs.with_ecc(ecc);
+                if let Some(local) = &mut local_vertex {
+                    local.costs = local.costs.with_ecc(ecc);
+                }
+            }
+            Some(ResilienceModel::new(
+                spec.faults.clone(),
+                spec.edge.chips,
+                banks_per_chip,
+                cell_bits,
+            ))
+        } else {
+            None
+        };
         Ok(HierarchyInstance {
             spec,
             edge,
@@ -456,6 +523,7 @@ impl HierarchyInstance {
             local_vertex,
             router,
             gating,
+            resilience,
         })
     }
 
@@ -488,6 +556,13 @@ impl HierarchyInstance {
     /// on.
     pub(crate) fn gating(&self) -> Option<&EdgeGating> {
         self.gating.as_ref()
+    }
+
+    /// The controller's resilience model, when the session's fault plan is
+    /// active. `None` guarantees the fault-free accounting path runs
+    /// untouched.
+    pub fn resilience(&self) -> Option<&ResilienceModel> {
+        self.resilience.as_ref()
     }
 
     /// Static power of the hybrid memory controller and misc logic.
@@ -654,6 +729,48 @@ mod tests {
         assert!(s.contains("power gating:  on"));
         let none = HierarchySpec::lower(&SystemConfig::acc_dram()).to_string();
         assert!(none.contains("none (random off-chip access)"));
+    }
+
+    #[test]
+    fn active_fault_plan_builds_resilience_without_extra_devices() {
+        let mut spec = HierarchySpec::lower(&SystemConfig::hyve_opt());
+        spec.faults = FaultPlan::parse("seed=1,reram-ber=1e-5,ecc=secded").unwrap();
+        let before = device_constructions();
+        let h = HierarchyInstance::build(spec).unwrap();
+        assert_eq!(
+            device_constructions() - before,
+            3,
+            "resilience model must not construct devices"
+        );
+        let model = h.resilience().expect("plan is active");
+        assert_eq!(model.edge_chips(), EDGE_CHANNEL_CHIPS);
+        assert_eq!(model.edge_banks_per_chip(), 8, "default ReRAM chip banks");
+        assert_eq!(model.edge_cell_bits(), 1, "paper settles on SLC");
+        // ECC stretches the memoized latencies past the raw device answers.
+        let ch = h.edge();
+        assert!(ch.costs().read_latency > ch.device().read_latency());
+        assert!(ch.costs().background_power > ch.device().background_power());
+        assert_eq!(ch.costs().output_bits, ch.device().output_bits());
+    }
+
+    #[test]
+    fn inert_fault_plan_leaves_no_trace_on_the_instance() {
+        let mut spec = HierarchySpec::lower(&SystemConfig::hyve());
+        spec.faults = FaultPlan::none().with_seed(123);
+        let h = HierarchyInstance::build(spec).unwrap();
+        assert!(h.resilience().is_none());
+        let c = h.edge().costs();
+        assert_eq!(c.read_latency, h.edge().device().read_latency());
+    }
+
+    #[test]
+    fn invalid_fault_plan_rejected_at_build() {
+        let mut spec = HierarchySpec::lower(&SystemConfig::hyve());
+        spec.faults.reram_ber = 2.0;
+        assert!(matches!(
+            HierarchyInstance::build(spec),
+            Err(CoreError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

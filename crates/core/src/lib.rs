@@ -26,7 +26,13 @@
 //!   [`SessionBuilder::with_trace`](session::SessionBuilder::with_trace),
 //!   aggregated by [`MetricsRecorder`] into a versioned JSONL
 //!   [`TraceArtifact`]. Zero-cost when disabled, and observation never
-//!   perturbs accounting (golden reports are bit-identical either way).
+//!   perturbs accounting (golden reports are bit-identical either way),
+//! * reliability — a deterministic seed-driven fault model
+//!   ([`FaultPlan`], [`EccProfile`]) with ECC correction, bounded retry,
+//!   and edge-bank sparing ([`ResilienceModel`]), surfaced as a
+//!   [`ReliabilityReport`] on the run report; with the default
+//!   [`FaultPlan::none`] the fault path is never entered and every report
+//!   stays bit-identical to a fault-free build.
 //!
 //! ```
 //! use hyve_core::{SimulationSession, SystemConfig};
@@ -61,20 +67,24 @@ pub mod trace;
 pub mod workflow;
 
 pub use config::{EdgeMemoryKind, SystemConfig, VertexMemoryKind};
-pub use controller::{AddressMap, EdgeAddress, EdgeBuffer, StreamAnalysis, StreamBound};
+pub use controller::{
+    AddressMap, BankRemap, BankSpareMap, EdgeAddress, EdgeBuffer, ResilienceModel, StreamAnalysis,
+    StreamBound,
+};
 pub use engine::PreprocessingReport;
 pub use error::CoreError;
 pub use exec::ExecutionStrategy;
 pub use hierarchy::{
     Channel, ChannelRole, ChannelSpec, DeviceSpec, HierarchyInstance, HierarchySpec, Ledgers,
 };
+pub use hyve_memsim::{EccProfile, FaultPlan};
 pub use pu::ProcessingUnit;
 pub use router::Router;
 pub use schedule::{Assignment, SuperBlockSchedule};
 pub use session::{SessionBuilder, SimulationSession};
-pub use stats::{EnergyBreakdown, PhaseTimes, RunReport, RunTrace};
+pub use stats::{EnergyBreakdown, PhaseTimes, ReliabilityReport, RunReport, RunTrace};
 pub use trace::{
-    MetricsRecorder, SharedRecorder, SharedSink, TraceArtifact, TraceChannel, TraceDiff,
-    TraceEvent, TraceSink,
+    MetricsRecorder, ReliabilityTotals, SharedRecorder, SharedSink, TraceArtifact, TraceChannel,
+    TraceDiff, TraceEvent, TraceSink,
 };
 pub use workflow::WorkingFlow;

@@ -38,6 +38,7 @@ use crate::stats::{RunReport, RunTrace};
 use crate::trace::{SharedSink, TraceSink};
 use hyve_algorithms::EdgeProgram;
 use hyve_graph::{EdgeList, GridGraph};
+use hyve_memsim::FaultPlan;
 
 /// Builder for a [`SimulationSession`].
 ///
@@ -49,6 +50,7 @@ pub struct SessionBuilder {
     strategy: ExecutionStrategy,
     dirty_skipping: bool,
     sink: Option<SharedSink>,
+    faults: FaultPlan,
 }
 
 impl SessionBuilder {
@@ -86,6 +88,23 @@ impl SessionBuilder {
         self
     }
 
+    /// Injects a deterministic [`FaultPlan`] into every run of the built
+    /// session: raw bit errors per channel, ECC correction with its
+    /// energy/latency overheads, bounded retry of uncorrectable errors, and
+    /// edge-bank sparing for persistent faults. The outcome lands in
+    /// [`RunReport::reliability`](crate::RunReport::reliability).
+    ///
+    /// Fault outcomes are a deterministic function of the plan's seed and
+    /// the run's access totals — independent of execution strategy, so the
+    /// parallel-equals-sequential guarantee holds for fault runs too. The
+    /// default (and [`FaultPlan::none`]) leaves the fault path disabled and
+    /// every report bit-identical to a session without this call.
+    /// [`sweep`](SimulationSession::sweep) runs stay fault-free.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// Shorthand for `strategy(ExecutionStrategy::Parallel { threads })`.
     pub fn parallel(self, threads: usize) -> Self {
         self.strategy(ExecutionStrategy::Parallel { threads })
@@ -101,11 +120,12 @@ impl SessionBuilder {
     /// # Errors
     ///
     /// [`CoreError::InvalidConfig`] when the [`SystemConfig`] fails
-    /// [`SystemConfig::validate`] or a parallel strategy requests zero
+    /// [`SystemConfig::validate`], the [`FaultPlan`] fails
+    /// [`FaultPlan::validate`], or a parallel strategy requests zero
     /// threads. This is the single validation point: sessions never panic
     /// on construction input.
     pub fn build(self) -> Result<SimulationSession, CoreError> {
-        let engine = Engine::try_new(self.config)?;
+        let engine = Engine::try_new_with_faults(self.config, self.faults)?;
         if let ExecutionStrategy::Parallel { threads: 0 } = self.strategy {
             return Err(CoreError::InvalidConfig {
                 message: "parallel execution needs at least one thread".into(),
@@ -140,6 +160,7 @@ impl SimulationSession {
             strategy: ExecutionStrategy::Sequential,
             dirty_skipping: true,
             sink: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -349,6 +370,62 @@ mod tests {
             assert_eq!(par_report, seq_report, "threads = {threads}");
             assert_eq!(par_values, seq_values, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn fault_plan_none_builds_the_default_session() {
+        let g = graph();
+        let default = SimulationSession::builder(SystemConfig::hyve_opt())
+            .build()
+            .unwrap()
+            .run_on_edge_list(&PageRank::new(3), &g)
+            .unwrap();
+        let explicit = SimulationSession::builder(SystemConfig::hyve_opt())
+            .with_faults(FaultPlan::none())
+            .build()
+            .unwrap()
+            .run_on_edge_list(&PageRank::new(3), &g)
+            .unwrap();
+        assert_eq!(default, explicit);
+        assert!(explicit.reliability.is_none());
+    }
+
+    #[test]
+    fn fault_runs_are_bit_identical_across_strategies() {
+        let g = graph();
+        let plan = FaultPlan::parse("seed=7,reram-ber=2e-5,dram-ber=1e-9,ecc=secded").unwrap();
+        let sequential = SimulationSession::builder(SystemConfig::hyve_opt())
+            .with_faults(plan.clone())
+            .build()
+            .unwrap();
+        let (seq_report, seq_values) = sequential
+            .run_on_edge_list_with_values(&PageRank::new(3), &g)
+            .unwrap();
+        assert!(seq_report.reliability.is_some());
+        for threads in [1, 2, 4, 8] {
+            let parallel = SimulationSession::builder(SystemConfig::hyve_opt())
+                .with_faults(plan.clone())
+                .parallel(threads)
+                .build()
+                .unwrap();
+            let (par_report, par_values) = parallel
+                .run_on_edge_list_with_values(&PageRank::new(3), &g)
+                .unwrap();
+            assert_eq!(par_report, seq_report, "threads = {threads}");
+            assert_eq!(par_values, seq_values, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn builder_rejects_invalid_fault_plan() {
+        let mut plan = FaultPlan::none();
+        plan.reram_ber = 2.0;
+        assert!(matches!(
+            SimulationSession::builder(SystemConfig::hyve())
+                .with_faults(plan)
+                .build(),
+            Err(CoreError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

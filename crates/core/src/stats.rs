@@ -1,6 +1,7 @@
 //! Run accounting: per-component energy breakdown (Fig. 17), phase times,
-//! and the headline MTEPS/W metric.
+//! the headline MTEPS/W metric, and the reliability outcome of fault runs.
 
+use crate::controller::BankRemap;
 use hyve_memsim::{AccessStats, Energy, EnergyDelay, Time};
 use std::fmt;
 
@@ -114,6 +115,44 @@ impl PhaseTimes {
     }
 }
 
+/// Reliability outcome of one run under an active
+/// [`FaultPlan`](hyve_memsim::FaultPlan).
+///
+/// All counts are run totals across every channel; remaps cover the edge
+/// channel, the only one with bank sparing. `None` on a [`RunReport`]
+/// means the run executed fault-free (the default).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReliabilityReport {
+    /// Bit errors corrected in-line by ECC.
+    pub corrected: u64,
+    /// Detectable-but-uncorrectable errors (each triggers retries).
+    pub uncorrectable: u64,
+    /// Total re-read attempts across all uncorrectable errors.
+    pub retries: u64,
+    /// Edge banks remapped onto spares, in escalation order.
+    pub remaps: Vec<BankRemap>,
+    /// Spare banks the edge channel reserved for this run.
+    pub spare_banks: u64,
+    /// Persistent faults that found no spare (lost capacity).
+    pub unspared: u64,
+    /// Fraction of edge-bank capacity lost to faults and spares in use.
+    pub degraded_fraction: f64,
+}
+
+impl fmt::Display for ReliabilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} corrected, {} uncorrectable ({} retries), {} bank remap(s), {:.2}% capacity degraded",
+            self.corrected,
+            self.uncorrectable,
+            self.retries,
+            self.remaps.len(),
+            100.0 * self.degraded_fraction,
+        )
+    }
+}
+
 /// Complete result of an engine run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -131,6 +170,8 @@ pub struct RunReport {
     pub phases: PhaseTimes,
     /// Per-component energy.
     pub breakdown: EnergyBreakdown,
+    /// Reliability outcome; `None` for fault-free runs (the default).
+    pub reliability: Option<ReliabilityReport>,
 }
 
 impl RunReport {
@@ -190,7 +231,11 @@ impl fmt::Display for RunReport {
             self.energy(),
             self.mteps_per_watt(),
             self.breakdown,
-        )
+        )?;
+        if let Some(rel) = &self.reliability {
+            write!(f, " | reliability: {rel}")?;
+        }
+        Ok(())
     }
 }
 
@@ -223,6 +268,7 @@ mod tests {
                 overhead: Time::from_ns(10.0),
             },
             breakdown,
+            reliability: None,
         }
     }
 
@@ -268,6 +314,7 @@ mod tests {
             intervals: 1,
             phases: PhaseTimes::default(),
             breakdown: EnergyBreakdown::default(),
+            reliability: None,
         };
         assert_eq!(r.mteps(), 0.0);
         assert_eq!(r.mteps_per_watt(), 0.0);
@@ -280,5 +327,32 @@ mod tests {
         let s = report().to_string();
         assert!(s.contains("PR"));
         assert!(s.contains("MTEPS/W"));
+        assert!(
+            !s.contains("reliability"),
+            "fault-free reports stay silent about reliability"
+        );
+    }
+
+    #[test]
+    fn reliability_surfaces_in_display() {
+        let mut r = report();
+        r.reliability = Some(ReliabilityReport {
+            corrected: 12,
+            uncorrectable: 2,
+            retries: 5,
+            remaps: vec![BankRemap {
+                chip: 0,
+                bank: 3,
+                spare_chip: 7,
+                spare_bank: 7,
+            }],
+            spare_banks: 2,
+            unspared: 0,
+            degraded_fraction: 1.0 / 64.0,
+        });
+        let s = r.to_string();
+        assert!(s.contains("reliability"));
+        assert!(s.contains("12 corrected"));
+        assert!(s.contains("1 bank remap"));
     }
 }

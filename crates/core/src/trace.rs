@@ -26,6 +26,7 @@
 //! (`*_bits`). The parser reads the hex field, so a round-tripped artifact
 //! is bit-identical to its source and a self-diff is exactly zero.
 
+use crate::controller::BankRemap;
 use crate::stats::PhaseTimes;
 use hyve_memsim::{AccessStats, Energy, Time};
 use std::collections::HashMap;
@@ -87,8 +88,10 @@ impl fmt::Display for TraceChannel {
 /// one [`IterationEnd`](TraceEvent::IterationEnd) per executed iteration,
 /// then the run-total records ([`Phases`](TraceEvent::Phases), one
 /// [`ChannelLedger`](TraceEvent::ChannelLedger) per channel, optional
-/// [`GatingTransitions`](TraceEvent::GatingTransitions) and
-/// [`RouterTraffic`](TraceEvent::RouterTraffic)) and a closing
+/// [`GatingTransitions`](TraceEvent::GatingTransitions),
+/// [`RouterTraffic`](TraceEvent::RouterTraffic), and — on fault runs —
+/// [`Reliability`](TraceEvent::Reliability) plus one
+/// [`BankRemap`](TraceEvent::BankRemap) per spared bank) and a closing
 /// [`RunEnd`](TraceEvent::RunEnd).
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
@@ -141,6 +144,28 @@ pub enum TraceEvent {
         words: u64,
         /// Reroute steps taken.
         reroutes: u64,
+    },
+    /// Run-total ECC escalation counters, emitted only when a
+    /// [`FaultPlan`](hyve_memsim::FaultPlan) was active.
+    Reliability {
+        /// Bit errors corrected in-line by ECC.
+        corrected: u64,
+        /// Detectable-but-uncorrectable errors.
+        uncorrectable: u64,
+        /// Total re-read attempts across all uncorrectable errors.
+        retries: u64,
+    },
+    /// One edge bank remapped onto a spare; emitted once per remap, in
+    /// escalation order, only when a fault plan was active.
+    BankRemap {
+        /// Failed bank's chip index.
+        chip: u32,
+        /// Failed bank's index within its chip.
+        bank: u32,
+        /// Spare bank's chip index.
+        spare_chip: u32,
+        /// Spare bank's index within its chip.
+        spare_bank: u32,
     },
     /// The run completed.
     RunEnd {
@@ -215,6 +240,20 @@ pub struct RouterTotals {
     pub reroutes: u64,
 }
 
+/// Reliability totals of a fault run: the escalation counters plus every
+/// bank remap, in escalation order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReliabilityTotals {
+    /// Bit errors corrected in-line by ECC.
+    pub corrected: u64,
+    /// Detectable-but-uncorrectable errors.
+    pub uncorrectable: u64,
+    /// Total re-read attempts across all uncorrectable errors.
+    pub retries: u64,
+    /// Edge banks remapped onto spares.
+    pub remaps: Vec<BankRemap>,
+}
+
 /// Aggregated metrics of one run: the [`MetricsRecorder`]'s output and the
 /// JSONL artifact's in-memory form.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -245,6 +284,8 @@ pub struct TraceArtifact {
     pub gating_transitions: Option<u64>,
     /// Router traffic, when data sharing was on.
     pub router: Option<RouterTotals>,
+    /// Reliability counters and remaps, when a fault plan was active.
+    pub reliability: Option<ReliabilityTotals>,
 }
 
 /// Escapes a string for a JSON string literal.
@@ -512,6 +553,24 @@ impl TraceArtifact {
             )
             .expect("string write");
         }
+        if let Some(rel) = &self.reliability {
+            writeln!(
+                out,
+                "{{\"event\":\"reliability\",\"corrected\":{},\
+                 \"uncorrectable\":{},\"retries\":{}}}",
+                rel.corrected, rel.uncorrectable, rel.retries,
+            )
+            .expect("string write");
+            for r in &rel.remaps {
+                writeln!(
+                    out,
+                    "{{\"event\":\"remap\",\"chip\":{},\"bank\":{},\
+                     \"spare_chip\":{},\"spare_bank\":{}}}",
+                    r.chip, r.bank, r.spare_chip, r.spare_bank,
+                )
+                .expect("string write");
+            }
+        }
         out
     }
 
@@ -601,6 +660,24 @@ impl TraceArtifact {
                         words: f.u64("words").map_err(|m| err(no, m))?,
                         reroutes: f.u64("reroutes").map_err(|m| err(no, m))?,
                     });
+                }
+                "reliability" => {
+                    let rel = artifact.reliability.get_or_insert_with(Default::default);
+                    rel.corrected = f.u64("corrected").map_err(|m| err(no, m))?;
+                    rel.uncorrectable = f.u64("uncorrectable").map_err(|m| err(no, m))?;
+                    rel.retries = f.u64("retries").map_err(|m| err(no, m))?;
+                }
+                "remap" => {
+                    artifact
+                        .reliability
+                        .get_or_insert_with(Default::default)
+                        .remaps
+                        .push(BankRemap {
+                            chip: f.u32("chip").map_err(|m| err(no, m))?,
+                            bank: f.u32("bank").map_err(|m| err(no, m))?,
+                            spare_chip: f.u32("spare_chip").map_err(|m| err(no, m))?,
+                            spare_bank: f.u32("spare_bank").map_err(|m| err(no, m))?,
+                        });
                 }
                 other => return Err(err(no, format!("unknown event {other:?}"))),
             }
@@ -798,6 +875,35 @@ impl TraceSink for MetricsRecorder {
                     reroutes: *reroutes,
                 });
             }
+            TraceEvent::Reliability {
+                corrected,
+                uncorrectable,
+                retries,
+            } => {
+                let rel = self
+                    .artifact
+                    .reliability
+                    .get_or_insert_with(Default::default);
+                rel.corrected = *corrected;
+                rel.uncorrectable = *uncorrectable;
+                rel.retries = *retries;
+            }
+            TraceEvent::BankRemap {
+                chip,
+                bank,
+                spare_chip,
+                spare_bank,
+            } => self
+                .artifact
+                .reliability
+                .get_or_insert_with(Default::default)
+                .remaps
+                .push(BankRemap {
+                    chip: *chip,
+                    bank: *bank,
+                    spare_chip: *spare_chip,
+                    spare_bank: *spare_bank,
+                }),
             TraceEvent::RunEnd {
                 iterations,
                 edges_processed,
@@ -908,6 +1014,7 @@ mod tests {
                 words: 123,
                 reroutes: 9,
             }),
+            reliability: None,
         }
     }
 
@@ -1009,6 +1116,88 @@ mod tests {
         bad_event.push_str("{\"event\":\"martian\"}\n");
         let e = TraceArtifact::from_jsonl(&bad_event).unwrap_err();
         assert!(e.message.contains("martian"), "{e}");
+    }
+
+    #[test]
+    fn reliability_round_trips_and_stays_absent_when_fault_free() {
+        // Fault-free artifacts carry no reliability lines at all.
+        let clean = artifact();
+        assert!(!clean.to_jsonl().contains("reliability"));
+
+        let mut faulty = clean.clone();
+        faulty.reliability = Some(ReliabilityTotals {
+            corrected: 17,
+            uncorrectable: 3,
+            retries: 8,
+            remaps: vec![
+                BankRemap {
+                    chip: 0,
+                    bank: 3,
+                    spare_chip: 7,
+                    spare_bank: 7,
+                },
+                BankRemap {
+                    chip: 2,
+                    bank: 1,
+                    spare_chip: 7,
+                    spare_bank: 6,
+                },
+            ],
+        });
+        let text = faulty.to_jsonl();
+        assert!(text.contains("\"event\":\"reliability\""));
+        assert_eq!(text.matches("\"event\":\"remap\"").count(), 2);
+        let back = TraceArtifact::from_jsonl(&text).unwrap();
+        assert_eq!(faulty, back);
+        assert_eq!(text, back.to_jsonl());
+    }
+
+    #[test]
+    fn recorder_aggregates_reliability_events() {
+        let mut rec = MetricsRecorder::new();
+        rec.record(&TraceEvent::RunStart {
+            algorithm: "PR",
+            config: "acc+HyVE",
+            num_vertices: 10,
+            num_edges: 20,
+            intervals: 8,
+            num_pus: 8,
+        });
+        // Remap may arrive before or after the counter record; both orders
+        // must aggregate into the same artifact.
+        rec.record(&TraceEvent::BankRemap {
+            chip: 1,
+            bank: 4,
+            spare_chip: 7,
+            spare_bank: 7,
+        });
+        rec.record(&TraceEvent::Reliability {
+            corrected: 5,
+            uncorrectable: 1,
+            retries: 2,
+        });
+        let rel = rec.artifact().reliability.clone().expect("reliability");
+        assert_eq!(rel.corrected, 5);
+        assert_eq!(rel.retries, 2);
+        assert_eq!(
+            rel.remaps,
+            vec![BankRemap {
+                chip: 1,
+                bank: 4,
+                spare_chip: 7,
+                spare_bank: 7,
+            }]
+        );
+        // A new run resets the reliability totals along with the rest.
+        rec.record(&TraceEvent::RunStart {
+            algorithm: "BFS",
+            config: "acc+HyVE",
+            num_vertices: 10,
+            num_edges: 20,
+            intervals: 8,
+            num_pus: 8,
+        });
+        assert!(rec.artifact().reliability.is_none());
     }
 
     #[test]

@@ -227,6 +227,7 @@ impl GraphrEngine {
                 overhead: Time::ZERO,
             },
             breakdown,
+            reliability: None,
         }
     }
 }

@@ -1,0 +1,511 @@
+//! Deterministic fault-injection and ECC models.
+//!
+//! Real ReRAM has finite write endurance, retention drift and stuck-at
+//! faults; DRAM rows miss refresh deadlines; SRAM takes particle strikes.
+//! This module describes those failure processes as a *plan* — raw
+//! bit-error rates per technology, an ECC profile, a retry budget, a wear
+//! limit and a list of factory-stuck banks — that the simulator's
+//! controller layer turns into deterministic correction/retry/remap
+//! counts and their energy/latency costs.
+//!
+//! Everything here is seed-driven and free of ambient randomness: the same
+//! [`FaultPlan`] applied to the same workload produces bit-identical
+//! outcomes regardless of host, thread count or wall clock. The default
+//! plan, [`FaultPlan::none()`], is inert ([`FaultPlan::is_active`] is
+//! `false`) so that fault-free runs take exactly the pre-existing code
+//! path.
+
+use crate::units::{Energy, Time};
+
+/// SplitMix64 pseudo-random generator.
+///
+/// Used for deterministic fractional rounding of expected fault counts and
+/// for per-event retry draws. Hand-rolled so the library crates stay free
+/// of RNG dependencies; SplitMix64 passes BigCrush and needs only a `u64`
+/// of state.
+///
+/// ```
+/// use hyve_memsim::FaultRng;
+/// let mut a = FaultRng::new(7);
+/// let mut b = FaultRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRng(u64);
+
+impl FaultRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        FaultRng(seed)
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` using the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `0..bound` (`bound == 0` yields 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Rounds an expected (fractional) event count to an integer
+/// deterministically: the integer part always happens, the fractional part
+/// becomes one extra event with the leftover probability.
+///
+/// ```
+/// use hyve_memsim::{expected_count, FaultRng};
+/// let mut rng = FaultRng::new(1);
+/// assert_eq!(expected_count(3.0, &mut rng), 3);
+/// let n = expected_count(2.5, &mut rng);
+/// assert!(n == 2 || n == 3);
+/// ```
+pub fn expected_count(expected: f64, rng: &mut FaultRng) -> u64 {
+    if !expected.is_finite() || expected <= 0.0 {
+        return 0;
+    }
+    let whole = expected.floor();
+    let frac = expected - whole;
+    let bump = u64::from(rng.next_f64() < frac);
+    if whole >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        whole as u64 + bump
+    }
+}
+
+/// An error-correcting-code profile protecting memory words.
+///
+/// Overheads follow the usual shape of on-die ECC datapaths: SECDED is a
+/// shallow XOR tree (cheap decode, single-cycle correct, one-bit
+/// correction), while the BCH-style profile trades a deeper, slower
+/// decoder for three-bit correction — the profile MLC ReRAM needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EccProfile {
+    /// No protection: errors go undetected and cost nothing.
+    #[default]
+    None,
+    /// Single-error-correct, double-error-detect Hamming code.
+    Secded,
+    /// BCH-style triple-error-correcting code.
+    Bch,
+}
+
+impl EccProfile {
+    /// Bits of correction capability per word (`t`).
+    pub fn correctable_bits(self) -> u32 {
+        match self {
+            EccProfile::None => 0,
+            EccProfile::Secded => 1,
+            EccProfile::Bch => 3,
+        }
+    }
+
+    /// Check bits stored alongside a `word_bits`-bit word.
+    ///
+    /// SECDED uses the Hamming bound (`2^r ≥ k + r + 1`) plus one overall
+    /// parity bit; the BCH profile uses the standard `t·⌈log2(k+1)⌉`
+    /// estimate with `t = 3`.
+    pub fn check_bits(self, word_bits: u32) -> u32 {
+        match self {
+            EccProfile::None => 0,
+            EccProfile::Secded => {
+                let mut r = 1u32;
+                while (1u64 << r) < u64::from(word_bits) + u64::from(r) + 1 {
+                    r += 1;
+                }
+                r + 1
+            }
+            EccProfile::Bch => {
+                let m = 64 - u64::from(word_bits).leading_zeros();
+                3 * m.max(1)
+            }
+        }
+    }
+
+    /// Storage overhead as a fraction of the data word (drives the
+    /// background-power surcharge for the extra cells).
+    pub fn storage_overhead(self, word_bits: u32) -> f64 {
+        if word_bits == 0 {
+            return 0.0;
+        }
+        f64::from(self.check_bits(word_bits)) / f64::from(word_bits)
+    }
+
+    /// Fractional latency added to every protected access by the in-line
+    /// syndrome pipeline.
+    pub fn latency_overhead(self) -> f64 {
+        match self {
+            EccProfile::None => 0.0,
+            EccProfile::Secded => 0.03,
+            EccProfile::Bch => 0.08,
+        }
+    }
+
+    /// Energy of one syndrome computation over a `word_bits`-bit word
+    /// (paid on every protected access).
+    pub fn detect_energy(self, word_bits: u32) -> Energy {
+        let per_bit_pj = match self {
+            EccProfile::None => 0.0,
+            EccProfile::Secded => 0.0008,
+            EccProfile::Bch => 0.0032,
+        };
+        Energy::from_pj(per_bit_pj * f64::from(word_bits))
+    }
+
+    /// Energy of one correction (syndrome decode + bit flip).
+    pub fn correct_energy(self, word_bits: u32) -> Energy {
+        let factor = match self {
+            EccProfile::None => 0.0,
+            EccProfile::Secded => 2.0,
+            EccProfile::Bch => 10.0,
+        };
+        self.detect_energy(word_bits) * factor
+    }
+
+    /// Latency of one correction, exposed serially on the access path.
+    pub fn correct_latency(self) -> Time {
+        match self {
+            EccProfile::None => Time::ZERO,
+            EccProfile::Secded => Time::from_ns(1.0),
+            EccProfile::Bch => Time::from_ns(6.0),
+        }
+    }
+
+    /// Expected detectable-but-uncorrectable events given `errors` raw bit
+    /// errors at raw rate `ber` in `word_bits`-bit words.
+    ///
+    /// A word fails when more than `t` of its bits flip; conditioning on
+    /// one observed error, each extra error in the same word costs another
+    /// factor of `word_bits · ber`.
+    pub fn uncorrectable_expected(self, errors: f64, ber: f64, word_bits: u32) -> f64 {
+        let t = self.correctable_bits();
+        if t == 0 || errors <= 0.0 {
+            return 0.0;
+        }
+        errors * (f64::from(word_bits) * ber).powi(t as i32)
+    }
+
+    /// Parses `none` / `secded` / `bch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted values.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "none" => Ok(EccProfile::None),
+            "secded" => Ok(EccProfile::Secded),
+            "bch" => Ok(EccProfile::Bch),
+            other => Err(format!(
+                "unknown ECC profile '{other}' (use none/secded/bch)"
+            )),
+        }
+    }
+
+    /// Lower-case display name (matches [`EccProfile::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            EccProfile::None => "none",
+            EccProfile::Secded => "secded",
+            EccProfile::Bch => "bch",
+        }
+    }
+}
+
+/// Raw-BER multiplier for multi-level ReRAM cells.
+///
+/// Packing more levels into one cell shrinks sense margins roughly
+/// geometrically; the conventional modeling assumption is ~4× raw BER per
+/// extra bit.
+pub fn mlc_ber_factor(cell_bits: u32) -> f64 {
+    4f64.powi(cell_bits.saturating_sub(1).min(8) as i32)
+}
+
+/// A deterministic, seed-driven fault-injection plan.
+///
+/// The plan is pure configuration: rates and limits, no state. The
+/// simulator core interprets it once per run against the run's total
+/// traffic, so outcomes depend only on (plan, workload) — never on thread
+/// count or timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all fault draws in the run.
+    pub seed: u64,
+    /// Raw bit-error rate of SLC ReRAM reads/writes (scaled up for MLC
+    /// cells via [`mlc_ber_factor`]).
+    pub reram_ber: f64,
+    /// DRAM retention / refresh-miss bit-error rate.
+    pub dram_ber: f64,
+    /// SRAM (and register-file) soft-error bit rate.
+    pub sram_ber: f64,
+    /// ECC protecting every channel. With [`EccProfile::None`], errors go
+    /// undetected and cost nothing.
+    pub ecc: EccProfile,
+    /// Maximum re-reads for a detectable-uncorrectable error before the
+    /// controller gives up on the access (it still completes — the model
+    /// charges the retries, it does not fail the run).
+    pub max_retries: u32,
+    /// Write-endurance limit in iterations: edge banks scanned at least
+    /// this many times become persistently faulty and must be spared.
+    pub wear_limit: Option<u64>,
+    /// Factory-stuck `(chip, bank)` pairs in the edge channel, spared at
+    /// run start.
+    pub stuck_banks: Vec<(u32, u32)>,
+}
+
+impl FaultPlan {
+    /// The inert plan: no errors, no ECC, nothing to pay for.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            reram_ber: 0.0,
+            dram_ber: 0.0,
+            sram_ber: 0.0,
+            ecc: EccProfile::None,
+            max_retries: 3,
+            wear_limit: None,
+            stuck_banks: Vec::new(),
+        }
+    }
+
+    /// Sets the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// True when the plan can change any simulated quantity. Inactive
+    /// plans (the default, and any all-zero-rate plan without ECC, stuck
+    /// banks or a wear limit) must leave every report bit-identical to a
+    /// fault-free run.
+    pub fn is_active(&self) -> bool {
+        self.ecc != EccProfile::None
+            || self.reram_ber > 0.0
+            || self.dram_ber > 0.0
+            || self.sram_ber > 0.0
+            || self.wear_limit.is_some()
+            || !self.stuck_banks.is_empty()
+    }
+
+    /// Validates rates and limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a rate is not a probability in `[0, 1)` or
+    /// the retry budget is zero while errors are possible.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("reram-ber", self.reram_ber),
+            ("dram-ber", self.dram_ber),
+            ("sram-ber", self.sram_ber),
+        ] {
+            if !rate.is_finite() || !(0.0..1.0).contains(&rate) {
+                return Err(format!(
+                    "{name} must be a probability in [0, 1), got {rate}"
+                ));
+            }
+        }
+        if self.max_retries == 0 {
+            return Err("retries must be at least 1".into());
+        }
+        if self.wear_limit == Some(0) {
+            return Err("wear-limit must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Parses a comma-separated `key=value` spec, e.g.
+    /// `seed=7,reram-ber=1e-4,ecc=secded,stuck-bank=0:3`.
+    ///
+    /// Keys: `seed`, `reram-ber`, `dram-ber`, `sram-ber`, `ecc`
+    /// (`none`/`secded`/`bch`), `retries`, `wear-limit`, and a repeatable
+    /// `stuck-bank=CHIP:BANK`. The literal spec `none` yields the inert
+    /// plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on unknown keys, malformed values
+    /// or an invalid resulting plan.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::none();
+        if spec.trim() == "none" {
+            return Ok(plan);
+        }
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got '{part}'"))?;
+            let bad = |what: &str| format!("invalid {what} '{value}'");
+            match key {
+                "seed" => plan.seed = value.parse().map_err(|_| bad("seed"))?,
+                "reram-ber" => plan.reram_ber = value.parse().map_err(|_| bad("reram-ber"))?,
+                "dram-ber" => plan.dram_ber = value.parse().map_err(|_| bad("dram-ber"))?,
+                "sram-ber" => plan.sram_ber = value.parse().map_err(|_| bad("sram-ber"))?,
+                "ecc" => plan.ecc = EccProfile::parse(value)?,
+                "retries" => plan.max_retries = value.parse().map_err(|_| bad("retries"))?,
+                "wear-limit" => {
+                    plan.wear_limit = Some(value.parse().map_err(|_| bad("wear-limit"))?)
+                }
+                "stuck-bank" => {
+                    let (chip, bank) = value
+                        .split_once(':')
+                        .ok_or_else(|| bad("stuck-bank (use CHIP:BANK)"))?;
+                    let chip = chip.parse().map_err(|_| bad("stuck-bank chip"))?;
+                    let bank = bank.parse().map_err(|_| bad("stuck-bank bank"))?;
+                    plan.stuck_banks.push((chip, bank));
+                }
+                other => return Err(format!("unknown fault key '{other}'")),
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prng_is_deterministic_and_well_spread() {
+        let mut a = FaultRng::new(42);
+        let mut b = FaultRng::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        // Different seeds diverge immediately.
+        assert_ne!(FaultRng::new(1).next_u64(), FaultRng::new(2).next_u64());
+        for _ in 0..1000 {
+            let f = a.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn expected_count_brackets_the_expectation() {
+        let mut rng = FaultRng::new(9);
+        assert_eq!(expected_count(0.0, &mut rng), 0);
+        assert_eq!(expected_count(-1.0, &mut rng), 0);
+        assert_eq!(expected_count(f64::NAN, &mut rng), 0);
+        assert_eq!(expected_count(5.0, &mut rng), 5);
+        for _ in 0..100 {
+            let n = expected_count(2.25, &mut rng);
+            assert!(n == 2 || n == 3);
+        }
+    }
+
+    #[test]
+    fn none_plan_is_inactive_and_valid() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan, FaultPlan::default());
+        // Zero rates with a seed set are still inactive.
+        assert!(!FaultPlan::none().with_seed(99).is_active());
+    }
+
+    #[test]
+    fn any_knob_activates_the_plan() {
+        let mut p = FaultPlan::none();
+        p.reram_ber = 1e-6;
+        assert!(p.is_active());
+        let mut p = FaultPlan::none();
+        p.ecc = EccProfile::Secded;
+        assert!(p.is_active());
+        let mut p = FaultPlan::none();
+        p.stuck_banks.push((0, 1));
+        assert!(p.is_active());
+        let mut p = FaultPlan::none();
+        p.wear_limit = Some(5);
+        assert!(p.is_active());
+    }
+
+    #[test]
+    fn parse_round_trips_a_full_spec() {
+        let plan = FaultPlan::parse(
+            "seed=7,reram-ber=1e-4,dram-ber=1e-9,sram-ber=1e-12,\
+             ecc=bch,retries=5,wear-limit=100,stuck-bank=0:3,stuck-bank=2:1",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.reram_ber, 1e-4);
+        assert_eq!(plan.dram_ber, 1e-9);
+        assert_eq!(plan.sram_ber, 1e-12);
+        assert_eq!(plan.ecc, EccProfile::Bch);
+        assert_eq!(plan.max_retries, 5);
+        assert_eq!(plan.wear_limit, Some(100));
+        assert_eq!(plan.stuck_banks, vec![(0, 3), (2, 1)]);
+        assert!(plan.is_active());
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(FaultPlan::parse("bogus").is_err());
+        assert!(FaultPlan::parse("seed=abc").is_err());
+        assert!(FaultPlan::parse("unknown=1").is_err());
+        assert!(FaultPlan::parse("ecc=reed-solomon").is_err());
+        assert!(FaultPlan::parse("stuck-bank=5").is_err());
+        assert!(FaultPlan::parse("reram-ber=1.5").is_err());
+        assert!(FaultPlan::parse("reram-ber=-0.1").is_err());
+        assert!(FaultPlan::parse("retries=0").is_err());
+        assert!(FaultPlan::parse("wear-limit=0").is_err());
+        assert_eq!(FaultPlan::parse("none").unwrap(), FaultPlan::none());
+    }
+
+    #[test]
+    fn ecc_overheads_rank_bch_above_secded() {
+        let w = 512;
+        assert_eq!(EccProfile::None.check_bits(w), 0);
+        // SECDED over 512 bits: 2^10 >= 512 + 10 + 1 → 10 + parity = 11.
+        assert_eq!(EccProfile::Secded.check_bits(w), 11);
+        assert!(EccProfile::Bch.check_bits(w) > EccProfile::Secded.check_bits(w));
+        assert!(EccProfile::Bch.detect_energy(w) > EccProfile::Secded.detect_energy(w));
+        assert!(EccProfile::Bch.correct_latency() > EccProfile::Secded.correct_latency());
+        assert!(EccProfile::Bch.latency_overhead() > EccProfile::Secded.latency_overhead());
+        assert_eq!(EccProfile::None.detect_energy(w), Energy::ZERO);
+    }
+
+    #[test]
+    fn stronger_ecc_leaves_fewer_uncorrectable_errors() {
+        let errors = 1e6;
+        let ber = 1e-5;
+        let none = EccProfile::None.uncorrectable_expected(errors, ber, 512);
+        let secded = EccProfile::Secded.uncorrectable_expected(errors, ber, 512);
+        let bch = EccProfile::Bch.uncorrectable_expected(errors, ber, 512);
+        assert_eq!(none, 0.0, "no ECC means no *detected* uncorrectables");
+        assert!(secded > bch);
+        assert!(bch > 0.0);
+    }
+
+    #[test]
+    fn mlc_factor_grows_with_cell_bits() {
+        assert_eq!(mlc_ber_factor(1), 1.0);
+        assert_eq!(mlc_ber_factor(2), 4.0);
+        assert_eq!(mlc_ber_factor(3), 16.0);
+        assert!(mlc_ber_factor(0) == 1.0);
+    }
+}

@@ -14,7 +14,9 @@
 //! * [`SramArray`] — on-chip SRAM scaled from the paper's CACTI/NVSim anchor
 //!   points (2 MB: 960.03 ps & 23.84 pJ per 32-bit read),
 //! * [`RegisterFile`] — the small fast storage GraphR uses for local vertices,
-//! * [`BankPowerGating`] — the bank-level power-gating controller of §4.1.
+//! * [`BankPowerGating`] — the bank-level power-gating controller of §4.1,
+//! * [`FaultPlan`] / [`EccProfile`] — deterministic, seed-driven fault
+//!   injection and error-correction models for the reliability layer.
 //!
 //! All quantities use the explicit unit newtypes in [`units`]
 //! ([`Energy`], [`Time`], [`Power`]) so that picojoules are never added to
@@ -41,6 +43,7 @@ pub mod counters;
 pub mod device;
 pub mod dram;
 pub mod error;
+pub mod faults;
 pub mod power_gating;
 pub mod regfile;
 pub mod reram;
@@ -54,6 +57,7 @@ pub use counters::AccessStats;
 pub use device::{DeviceKind, MemoryDevice};
 pub use dram::{DramChip, DramChipConfig, DramTimings};
 pub use error::DeviceError;
+pub use faults::{expected_count, mlc_ber_factor, EccProfile, FaultPlan, FaultRng};
 pub use power_gating::{BankPowerGating, GatingTracker, PowerGatingConfig, PowerGatingReport};
 pub use regfile::RegisterFile;
 pub use reram::{OptimizationTarget, ReramBankProfile, ReramChip, ReramChipConfig};

@@ -9,7 +9,7 @@ use std::error::Error;
 use std::fmt;
 
 /// Any error the HyVE workspace can produce.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum HyveError {
     /// Graph construction or partitioning failed.
     Graph(hyve_graph::GraphError),

@@ -19,10 +19,10 @@ pub use hyve_algorithms::{
     Bfs, ConnectedComponents, EdgeProgram, ExecutionMode, IterationBound, PageRank, SpMv, Sssp,
 };
 pub use hyve_core::{
-    CoreError, EdgeMemoryKind, EnergyBreakdown, ExecutionStrategy, HierarchyInstance,
-    HierarchySpec, MetricsRecorder, PhaseTimes, RunReport, RunTrace, SessionBuilder,
-    SharedRecorder, SimulationSession, SystemConfig, TraceArtifact, TraceChannel, TraceDiff,
-    TraceEvent, TraceSink, VertexMemoryKind,
+    BankRemap, CoreError, EccProfile, EdgeMemoryKind, EnergyBreakdown, ExecutionStrategy,
+    FaultPlan, HierarchyInstance, HierarchySpec, MetricsRecorder, PhaseTimes, ReliabilityReport,
+    RunReport, RunTrace, SessionBuilder, SharedRecorder, SimulationSession, SystemConfig,
+    TraceArtifact, TraceChannel, TraceDiff, TraceEvent, TraceSink, VertexMemoryKind,
 };
 pub use hyve_graph::{
     DatasetProfile, Edge, EdgeList, FlatGrid, GraphError, GridGraph, Rmat, VertexId,
